@@ -1,0 +1,55 @@
+//! Regenerates Figure 5: sensitivity of the full method to the initialised
+//! target-domain accuracy `a_T` (equivalently the initial difficulty
+//! `beta_T = ln(1/a_T - 1)`) on every dataset.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench fig5_at_sensitivity
+//! ```
+
+use c4u_bench::{cpe_epochs, evaluate_cells, trial_seeds, CellSpec, StrategyKind};
+use c4u_crowd_sim::DatasetConfig;
+
+fn main() {
+    let epochs = cpe_epochs();
+    // One seed per cell keeps the 5-point sweep over six datasets tractable; the
+    // paper's figure is likewise a single run per point.
+    let seeds = trial_seeds(1);
+    let a_t_values = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    println!(
+        "Figure 5 — sensitivity to the initial target-domain accuracy a_T (Ours, CPE epochs = {epochs})\n"
+    );
+
+    let configs = DatasetConfig::all_paper_datasets();
+    let mut specs = Vec::new();
+    for config in &configs {
+        for &a_t in &a_t_values {
+            let mut spec = CellSpec::standard(
+                config.clone(),
+                StrategyKind::Ours,
+                epochs,
+                seeds.clone(),
+            );
+            spec.initial_target_accuracy = a_t;
+            specs.push(spec);
+        }
+    }
+    let cells = evaluate_cells(&specs);
+
+    print!("{:<6}", "a_T");
+    for config in &configs {
+        print!(" {:>8}", config.name);
+    }
+    println!();
+    for (row, &a_t) in a_t_values.iter().enumerate() {
+        print!("{a_t:<6.1}");
+        for (col, _) in configs.iter().enumerate() {
+            let cell = &cells[col * a_t_values.len() + row];
+            print!(" {:>8.3}", cell.mean_accuracy);
+        }
+        println!();
+    }
+    println!("\nExpected shape (Figure 5): the curves are flat for a_T in [0.2, 0.8] and only");
+    println!("degrade at the extreme initialisations, supporting the default a_T = 0.5 for");
+    println!("Yes/No tasks.");
+}

@@ -1,0 +1,73 @@
+//! Regenerates Figure 6 (a–f): sensitivity to the number of selected workers `k` on
+//! every dataset, for US, ME, Li et al., Ours and the ground-truth oracle.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench fig6_k_sensitivity
+//! ```
+
+use c4u_bench::{cpe_epochs, evaluate_cells, trial_seeds, CellSpec, StrategyKind};
+use c4u_crowd_sim::DatasetConfig;
+
+/// The k sweep of Figure 6: per dataset, the paper's default k plus the enlarged
+/// values used in Sec. V-G.
+fn k_values(config: &DatasetConfig) -> Vec<usize> {
+    match config.name.as_str() {
+        "RW-1" => vec![7, 14],
+        "RW-2" => vec![9, 18],
+        "S-1" | "S-2" => vec![5, 10, 20],
+        _ => vec![5, 10, 20, 40],
+    }
+}
+
+fn main() {
+    let epochs = cpe_epochs();
+    let seeds = trial_seeds(1);
+    let strategies = [
+        StrategyKind::UniformSampling,
+        StrategyKind::MedianElimination,
+        StrategyKind::LiEtAl,
+        StrategyKind::Ours,
+        StrategyKind::GroundTruth,
+    ];
+
+    println!(
+        "Figure 6 — sensitivity to the number of selected workers k (CPE epochs = {epochs})\n"
+    );
+
+    for config in DatasetConfig::all_paper_datasets() {
+        let ks = k_values(&config);
+        let mut specs = Vec::new();
+        for &k in &ks {
+            for &strategy in &strategies {
+                let mut spec = CellSpec::standard(
+                    config.clone(),
+                    strategy,
+                    epochs,
+                    seeds.clone(),
+                );
+                spec.k = k;
+                specs.push(spec);
+            }
+        }
+        let cells = evaluate_cells(&specs);
+
+        println!("--- {} (|W| = {}) ---", config.name, config.pool_size);
+        print!("{:<6}", "k");
+        for strategy in &strategies {
+            print!(" {:>12}", strategy.name());
+        }
+        println!();
+        for (i, &k) in ks.iter().enumerate() {
+            print!("{k:<6}");
+            for (j, _) in strategies.iter().enumerate() {
+                let cell = &cells[i * strategies.len() + j];
+                print!(" {:>12.3}", cell.mean_accuracy);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("Expected shape (Figure 6): Ours tracks or beats every baseline across k; the gap");
+    println!("to the profile-regression baseline narrows at large k (early elimination stage),");
+    println!("and every curve falls as k grows because weaker workers enter the selection.");
+}

@@ -1,0 +1,72 @@
+//! Running-time benchmark (Sec. V-H of the paper).
+//!
+//! The paper reports the wall-clock time of the full selection pipeline on one Xeon
+//! Gold 6240 core: 3.9 s (RW-1), 5.0 s (RW-2), 6.3 s (S-1), 7.8 s (S-2), 13.4 s
+//! (S-3) and 28.9 s (S-4) with 50 CPE epochs. Absolute numbers depend on hardware
+//! and on the CPE epoch budget; the shape to check is the roughly linear growth with
+//! the worker-pool size. The Criterion group below measures the smaller datasets
+//! precisely; the larger ones are reported once at the end of the run via
+//! `iter_custom` with a single iteration per sample.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench timing
+//! ```
+
+use c4u_bench::cpe_epochs;
+use c4u_crowd_sim::{generate, DatasetConfig, Platform};
+use c4u_selection::{CrossDomainSelector, SelectorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn run_pipeline(dataset: &c4u_crowd_sim::Dataset, epochs: usize, seed: u64) -> usize {
+    let mut platform = Platform::from_dataset(dataset, seed).expect("platform");
+    let mut config = SelectorConfig::default();
+    config.cpe.epochs = epochs;
+    let selector = CrossDomainSelector::new(config);
+    let report = selector
+        .run(&mut platform, dataset.config.select_k)
+        .expect("pipeline");
+    report.outcome.selected.len()
+}
+
+fn bench_selection_pipeline(c: &mut Criterion) {
+    let epochs = cpe_epochs();
+    let mut group = c.benchmark_group("selection_pipeline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10));
+
+    for config in [DatasetConfig::rw1(), DatasetConfig::rw2(), DatasetConfig::s1()] {
+        let dataset = generate(&config).expect("dataset");
+        group.bench_with_input(
+            BenchmarkId::new("full_method", &config.name),
+            &dataset,
+            |b, dataset| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    run_pipeline(dataset, epochs, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot wall-clock timings for the full Sec. V-H table (including the larger
+    // pools that are too slow for repeated Criterion sampling).
+    println!("\nSec. V-H one-shot pipeline wall-clock (CPE epochs = {epochs}):");
+    for config in DatasetConfig::all_paper_datasets() {
+        let dataset = generate(&config).expect("dataset");
+        let start = std::time::Instant::now();
+        let selected = run_pipeline(&dataset, epochs, 1);
+        let elapsed = start.elapsed();
+        println!(
+            "  {:<5} |W| = {:>3}  ->  {:>8.2?}  (selected {} workers)",
+            config.name, config.pool_size, elapsed, selected
+        );
+    }
+}
+
+criterion_group!(benches, bench_selection_pipeline);
+criterion_main!(benches);

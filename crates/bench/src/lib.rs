@@ -1,0 +1,353 @@
+//! # c4u-bench
+//!
+//! Experiment harness for the C4U reproduction: shared machinery used by the bench
+//! targets that regenerate every table and figure of the paper's evaluation
+//! (Tables II–V, Figures 5–7, and the Sec. V-H timing/correlation discussion).
+//!
+//! Each bench target (`cargo bench -p c4u-bench --bench <name>`) prints the rows or
+//! series the corresponding table/figure reports; `EXPERIMENTS.md` records one run of
+//! each alongside the paper's numbers.
+//!
+//! The harness honours two environment variables so that quick smoke runs and full
+//! paper-fidelity runs use the same code:
+//!
+//! * `C4U_CPE_EPOCHS` — gradient-descent epochs per CPE round (default 10; the paper
+//!   uses 50, which scales the runtime accordingly without changing the rankings);
+//! * `C4U_TRIALS` — number of answering-noise seeds averaged per cell (default 2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use c4u_crowd_sim::{generate, Dataset, DatasetConfig};
+use c4u_selection::{
+    evaluate_strategy_with_k, CrossDomainSelector, GroundTruthOracle, LiEtAl,
+    MedianEliminationBaseline, SelectorConfig, UniformSampling, WorkerSelector,
+};
+use parking_lot::Mutex;
+
+/// Default number of CPE gradient-descent epochs used by the bench targets.
+pub const DEFAULT_EPOCHS: usize = 10;
+/// Default number of answering-noise seeds averaged per experiment cell.
+pub const DEFAULT_TRIALS: usize = 2;
+/// Base answering-noise seed; trial `i` uses `BASE_SEED + 1000 * i`.
+pub const BASE_SEED: u64 = 20_240_610;
+
+/// Reads `C4U_CPE_EPOCHS` (default [`DEFAULT_EPOCHS`]).
+pub fn cpe_epochs() -> usize {
+    std::env::var("C4U_CPE_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_EPOCHS)
+}
+
+/// Reads `C4U_TRIALS` (default [`DEFAULT_TRIALS`]).
+pub fn trials() -> usize {
+    std::env::var("C4U_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_TRIALS)
+}
+
+/// The answering-noise seeds used for a given number of trials.
+pub fn trial_seeds(trials: usize) -> Vec<u64> {
+    (0..trials as u64).map(|i| BASE_SEED + 1000 * i).collect()
+}
+
+/// The strategy line-up of Table V, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Uniform Sampling.
+    UniformSampling,
+    /// Plain Median Elimination.
+    MedianElimination,
+    /// Li et al. linear regression on profiles.
+    LiEtAl,
+    /// ME + CPE (ablation without LGE).
+    MeCpe,
+    /// The full method (CPE + LGE + ME).
+    Ours,
+    /// Ground-truth oracle.
+    GroundTruth,
+}
+
+impl StrategyKind {
+    /// All strategies in Table V row order.
+    pub fn all() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::UniformSampling,
+            StrategyKind::MedianElimination,
+            StrategyKind::LiEtAl,
+            StrategyKind::MeCpe,
+            StrategyKind::Ours,
+            StrategyKind::GroundTruth,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::UniformSampling => "US",
+            StrategyKind::MedianElimination => "ME",
+            StrategyKind::LiEtAl => "Li et al.",
+            StrategyKind::MeCpe => "ME-CPE",
+            StrategyKind::Ours => "Ours",
+            StrategyKind::GroundTruth => "Ground Truth",
+        }
+    }
+
+    /// Builds the selector with the given CPE epoch budget and initial target
+    /// accuracy `a_T`.
+    pub fn build(&self, epochs: usize, initial_target_accuracy: f64) -> Box<dyn WorkerSelector> {
+        let mut config = SelectorConfig::default();
+        config.cpe.epochs = epochs;
+        config.cpe.initial_target_accuracy = initial_target_accuracy;
+        match self {
+            StrategyKind::UniformSampling => Box::new(UniformSampling::new()),
+            StrategyKind::MedianElimination => Box::new(MedianEliminationBaseline::new()),
+            StrategyKind::LiEtAl => Box::new(LiEtAl::new()),
+            StrategyKind::MeCpe => Box::new(CrossDomainSelector::new(config.cpe_only())),
+            StrategyKind::Ours => Box::new(CrossDomainSelector::new(config)),
+            StrategyKind::GroundTruth => Box::new(GroundTruthOracle::new()),
+        }
+    }
+}
+
+/// One experiment cell: a strategy evaluated on a dataset configuration, averaged
+/// over answering-noise seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Mean working-task accuracy of the selected workers.
+    pub mean_accuracy: f64,
+    /// Standard deviation across trials.
+    pub std_accuracy: f64,
+}
+
+/// Parameters of one experiment cell evaluation.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Dataset configuration to generate.
+    pub config: DatasetConfig,
+    /// Strategy to run.
+    pub strategy: StrategyKind,
+    /// Number of workers to select (usually `config.select_k`, overridden by the
+    /// Figure 6 sweep).
+    pub k: usize,
+    /// CPE epochs.
+    pub epochs: usize,
+    /// Initial target-domain accuracy `a_T` (Figure 5 sweep).
+    pub initial_target_accuracy: f64,
+    /// Answering-noise seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+impl CellSpec {
+    /// A cell with the dataset's default `k` and `a_T = 0.5`.
+    pub fn standard(
+        config: DatasetConfig,
+        strategy: StrategyKind,
+        epochs: usize,
+        seeds: Vec<u64>,
+    ) -> Self {
+        let k = config.select_k;
+        Self {
+            config,
+            strategy,
+            k,
+            epochs,
+            initial_target_accuracy: 0.5,
+            seeds,
+        }
+    }
+}
+
+/// Evaluates one cell on an already-generated dataset.
+pub fn evaluate_cell_on(dataset: &Dataset, spec: &CellSpec) -> Cell {
+    let strategy = spec.strategy.build(spec.epochs, spec.initial_target_accuracy);
+    let mut accuracies = Vec::with_capacity(spec.seeds.len());
+    for &seed in &spec.seeds {
+        match evaluate_strategy_with_k(dataset, strategy.as_ref(), spec.k, seed) {
+            Ok(result) => accuracies.push(result.working_accuracy),
+            Err(err) => {
+                eprintln!(
+                    "warning: {} on {} (k = {}) failed: {err}",
+                    spec.strategy.name(),
+                    spec.config.name,
+                    spec.k
+                );
+            }
+        }
+    }
+    Cell {
+        dataset: spec.config.name.clone(),
+        strategy: spec.strategy.name().to_string(),
+        mean_accuracy: c4u_stats::mean(&accuracies),
+        std_accuracy: c4u_stats::std_dev(&accuracies),
+    }
+}
+
+/// Evaluates one cell, generating the dataset from its configuration first.
+pub fn evaluate_cell(spec: &CellSpec) -> Cell {
+    match generate(&spec.config) {
+        Ok(dataset) => evaluate_cell_on(&dataset, spec),
+        Err(err) => {
+            eprintln!("warning: generating {} failed: {err}", spec.config.name);
+            Cell {
+                dataset: spec.config.name.clone(),
+                strategy: spec.strategy.name().to_string(),
+                mean_accuracy: 0.0,
+                std_accuracy: 0.0,
+            }
+        }
+    }
+}
+
+/// Evaluates a batch of cells, spreading independent cells over worker threads.
+pub fn evaluate_cells(specs: &[CellSpec]) -> Vec<Cell> {
+    let results: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::with_capacity(specs.len()));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if index >= specs.len() {
+                    break;
+                }
+                let cell = evaluate_cell(&specs[index]);
+                results.lock().push((index, cell));
+            });
+        }
+    })
+    .expect("experiment worker threads do not panic");
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().map(|(_, cell)| cell).collect()
+}
+
+/// Formats a dataset-by-strategy accuracy table (rows = strategies, columns =
+/// datasets), matching the layout of Table V.
+pub fn format_accuracy_table(datasets: &[String], strategies: &[String], cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", "strategy"));
+    for d in datasets {
+        out.push_str(&format!(" {:>10}", d));
+    }
+    out.push('\n');
+    for s in strategies {
+        out.push_str(&format!("{s:<14}"));
+        for d in datasets {
+            let cell = cells.iter().find(|c| &c.strategy == s && &c.dataset == d);
+            match cell {
+                Some(c) => out.push_str(&format!(" {:>10.3}", c.mean_accuracy)),
+                None => out.push_str(&format!(" {:>10}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Looks up a cell's mean accuracy in a result set.
+pub fn lookup(cells: &[Cell], dataset: &str, strategy: &str) -> Option<f64> {
+    cells
+        .iter()
+        .find(|c| c.dataset == dataset && c.strategy == strategy)
+        .map(|c| c.mean_accuracy)
+}
+
+/// Relative improvement (percent) of `ours` over `baseline`.
+pub fn uplift(ours: f64, baseline: f64) -> f64 {
+    c4u_selection::relative_improvement(ours, baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_defaults() {
+        assert!(cpe_epochs() >= 1);
+        assert!(trials() >= 1);
+        assert_eq!(trial_seeds(3).len(), 3);
+        assert_ne!(trial_seeds(2)[0], trial_seeds(2)[1]);
+    }
+
+    #[test]
+    fn strategy_lineup_matches_table_v() {
+        let all = StrategyKind::all();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].name(), "US");
+        assert_eq!(all[4].name(), "Ours");
+        for kind in all {
+            let strategy = kind.build(3, 0.5);
+            assert_eq!(strategy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn cell_evaluation_produces_bounded_accuracy() {
+        let mut config = DatasetConfig::rw1();
+        config.pool_size = 12;
+        config.select_k = 3;
+        let spec = CellSpec::standard(config, StrategyKind::MedianElimination, 2, vec![1, 2]);
+        let cell = evaluate_cell(&spec);
+        assert_eq!(cell.strategy, "ME");
+        assert!((0.0..=1.0).contains(&cell.mean_accuracy));
+        assert!(cell.std_accuracy >= 0.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_preserves_order() {
+        let mut config = DatasetConfig::rw1();
+        config.pool_size = 10;
+        config.select_k = 3;
+        let specs: Vec<CellSpec> = [StrategyKind::UniformSampling, StrategyKind::MedianElimination]
+            .iter()
+            .map(|&s| CellSpec::standard(config.clone(), s, 2, vec![7]))
+            .collect();
+        let cells = evaluate_cells(&specs);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].strategy, "US");
+        assert_eq!(cells[1].strategy, "ME");
+    }
+
+    #[test]
+    fn table_formatting_and_lookup() {
+        let cells = vec![
+            Cell {
+                dataset: "RW-1".into(),
+                strategy: "US".into(),
+                mean_accuracy: 0.75,
+                std_accuracy: 0.01,
+            },
+            Cell {
+                dataset: "RW-1".into(),
+                strategy: "Ours".into(),
+                mean_accuracy: 0.80,
+                std_accuracy: 0.01,
+            },
+        ];
+        let table = format_accuracy_table(
+            &["RW-1".to_string()],
+            &["US".to_string(), "Ours".to_string(), "Missing".to_string()],
+            &cells,
+        );
+        assert!(table.contains("0.750"));
+        assert!(table.contains("0.800"));
+        assert!(table.contains('-'));
+        assert_eq!(lookup(&cells, "RW-1", "Ours"), Some(0.80));
+        assert_eq!(lookup(&cells, "RW-1", "GT"), None);
+        assert!((uplift(0.8, 0.75) - 6.666).abs() < 0.01);
+    }
+}

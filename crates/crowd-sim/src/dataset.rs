@@ -1,0 +1,214 @@
+//! A generated dataset: configuration, worker specifications, and task pools.
+//!
+//! A [`Dataset`] is the immutable artefact produced by the generator (Sec. V-A of the
+//! paper); a [`crate::Platform`] is then instantiated from it to run one experiment.
+//! Keeping the two separate means every selection strategy can be evaluated on an
+//! identical pool of workers and tasks, which is what makes the Table V comparison
+//! fair.
+
+use crate::config::DatasetConfig;
+use crate::task::TaskPool;
+use crate::worker::WorkerSpec;
+use crate::SimError;
+
+/// A fully materialised dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The configuration the dataset was generated from.
+    pub config: DatasetConfig,
+    /// Latent specification of every worker in the pool.
+    pub workers: Vec<WorkerSpec>,
+    /// Learning tasks (golden questions) on the target domain.
+    pub learning_tasks: TaskPool,
+    /// Working tasks on the target domain, used only for evaluation.
+    pub working_tasks: TaskPool,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating that its parts are mutually consistent.
+    pub fn new(
+        config: DatasetConfig,
+        workers: Vec<WorkerSpec>,
+        learning_tasks: TaskPool,
+        working_tasks: TaskPool,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if workers.len() != config.pool_size {
+            return Err(SimError::InvalidConfig {
+                what: "number of generated workers must equal pool_size",
+                value: workers.len() as f64,
+            });
+        }
+        if learning_tasks.len() < config.learning_task_pool_size() {
+            return Err(SimError::InvalidConfig {
+                what: "learning task pool is smaller than the budget requires",
+                value: learning_tasks.len() as f64,
+            });
+        }
+        if working_tasks.is_empty() {
+            return Err(SimError::InvalidConfig {
+                what: "working task pool must not be empty",
+                value: 0.0,
+            });
+        }
+        for w in &workers {
+            if w.profile.num_domains() != config.num_prior_domains() {
+                return Err(SimError::InvalidConfig {
+                    what: "worker profile must cover every prior domain slot",
+                    value: w.profile.num_domains() as f64,
+                });
+            }
+        }
+        Ok(Self {
+            config,
+            workers,
+            learning_tasks,
+            working_tasks,
+        })
+    }
+
+    /// Number of workers in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Initial (pre-training) true target-domain accuracy of every worker.
+    pub fn initial_target_accuracies(&self) -> Vec<f64> {
+        self.workers
+            .iter()
+            .map(|w| w.initial_target_accuracy)
+            .collect()
+    }
+
+    /// Historical accuracy of every worker on prior domain `d` (gaps as `None`).
+    pub fn prior_accuracies(&self, d: usize) -> Vec<Option<f64>> {
+        self.workers
+            .iter()
+            .map(|w| w.profile.accuracy(d))
+            .collect()
+    }
+
+    /// Mean and standard deviation of the (observed) historical accuracy on prior
+    /// domain `d`, ignoring workers without a record there.
+    pub fn prior_domain_moments(&self, d: usize) -> (f64, f64) {
+        let values: Vec<f64> = self
+            .workers
+            .iter()
+            .filter_map(|w| w.profile.accuracy(d))
+            .collect();
+        (c4u_stats::mean(&values), c4u_stats::std_dev(&values))
+    }
+
+    /// Mean and standard deviation of the initial target-domain accuracy.
+    pub fn target_domain_moments(&self) -> (f64, f64) {
+        let values = self.initial_target_accuracies();
+        (c4u_stats::mean(&values), c4u_stats::std_dev(&values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::task::TaskKind;
+    use crate::worker::HistoricalProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_config() -> DatasetConfig {
+        let mut c = DatasetConfig::rw1();
+        c.pool_size = 4;
+        c.select_k = 2;
+        c.tasks_per_batch = 5;
+        c.working_tasks = 10;
+        c
+    }
+
+    fn spec(acc: f64) -> WorkerSpec {
+        WorkerSpec {
+            profile: HistoricalProfile::complete(vec![0.7, 0.8, 0.6], vec![10, 10, 10]).unwrap(),
+            initial_target_accuracy: acc,
+            latent_prior_accuracies: vec![0.7, 0.8, 0.6],
+            learning_aptitude: 0.0,
+        }
+    }
+
+    fn pools(config: &DatasetConfig) -> (TaskPool, TaskPool) {
+        let mut rng = StdRng::seed_from_u64(1);
+        (
+            TaskPool::generate(
+                &mut rng,
+                config.learning_task_pool_size(),
+                Domain::Target,
+                TaskKind::Learning,
+            ),
+            TaskPool::generate(&mut rng, config.working_tasks, Domain::Target, TaskKind::Working),
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let config = tiny_config();
+        let (learning, working) = pools(&config);
+        let ds = Dataset::new(
+            config,
+            vec![spec(0.4), spec(0.5), spec(0.6), spec(0.7)],
+            learning,
+            working,
+        )
+        .unwrap();
+        assert_eq!(ds.pool_size(), 4);
+        assert_eq!(ds.initial_target_accuracies(), vec![0.4, 0.5, 0.6, 0.7]);
+        assert_eq!(ds.prior_accuracies(0), vec![Some(0.7); 4]);
+        let (mean, std) = ds.prior_domain_moments(0);
+        assert!((mean - 0.7).abs() < 1e-12);
+        assert!(std.abs() < 1e-12);
+        let (tm, ts) = ds.target_domain_moments();
+        assert!((tm - 0.55).abs() < 1e-12);
+        assert!(ts > 0.0);
+    }
+
+    #[test]
+    fn validation_of_worker_count_and_pools() {
+        let config = tiny_config();
+        let (learning, working) = pools(&config);
+        // Wrong worker count.
+        assert!(Dataset::new(
+            config.clone(),
+            vec![spec(0.5)],
+            learning.clone(),
+            working.clone()
+        )
+        .is_err());
+        // Learning pool too small.
+        assert!(Dataset::new(
+            config.clone(),
+            vec![spec(0.4), spec(0.5), spec(0.6), spec(0.7)],
+            TaskPool::new(),
+            working.clone()
+        )
+        .is_err());
+        // Empty working pool.
+        assert!(Dataset::new(
+            config.clone(),
+            vec![spec(0.4), spec(0.5), spec(0.6), spec(0.7)],
+            learning.clone(),
+            TaskPool::new()
+        )
+        .is_err());
+        // Wrong profile width.
+        let bad = WorkerSpec {
+            profile: HistoricalProfile::complete(vec![0.5], vec![10]).unwrap(),
+            initial_target_accuracy: 0.5,
+            latent_prior_accuracies: vec![0.5],
+            learning_aptitude: 0.0,
+        };
+        assert!(Dataset::new(
+            config,
+            vec![bad, spec(0.5), spec(0.6), spec(0.7)],
+            learning,
+            working
+        )
+        .is_err());
+    }
+}

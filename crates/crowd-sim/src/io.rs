@@ -1,0 +1,375 @@
+//! Plain-text serialisation of generated datasets.
+//!
+//! The paper releases its collected datasets so that others can reproduce the
+//! evaluation; this module plays the same role for the simulator. A [`Dataset`] is
+//! written to (and read back from) a simple line-oriented text format so that a
+//! generated pool of workers can be archived alongside experiment results without
+//! pulling in a serialisation dependency:
+//!
+//! ```text
+//! # c4u dataset v1
+//! config<TAB>name=RW-1<TAB>pool=27<TAB>q=10<TAB>k=7<TAB>prior_tasks=10<TAB>working=30<TAB>seed=...
+//! prior_stats<TAB>0.70,0.22<TAB>0.88,0.10<TAB>0.58,0.25
+//! target_stats<TAB>0.55,0.17
+//! worker<TAB>0.61<TAB>0.7,10;0.9,10;0.5,10<TAB>0.68,0.88,0.47
+//! task<TAB>learning<TAB>1
+//! task<TAB>working<TAB>0
+//! ```
+//!
+//! Missing prior-domain records are written as `-`.
+
+use crate::config::{DatasetConfig, DomainStats};
+use crate::dataset::Dataset;
+use crate::domain::Domain;
+use crate::task::{Task, TaskKind, TaskPool};
+use crate::worker::{HistoricalProfile, WorkerSpec};
+use crate::SimError;
+
+/// Magic first line of the format.
+const HEADER: &str = "# c4u dataset v1";
+
+/// Serialises a dataset into the line-oriented text format.
+pub fn to_text(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    let c = &dataset.config;
+    out.push_str(&format!(
+        "config\tname={}\tpool={}\tq={}\tk={}\tprior_tasks={}\tworking={}\tseed={}\n",
+        c.name,
+        c.pool_size,
+        c.tasks_per_batch,
+        c.select_k,
+        c.prior_tasks_per_domain,
+        c.working_tasks,
+        c.seed
+    ));
+    out.push_str("prior_stats");
+    for s in &c.prior_stats {
+        out.push_str(&format!("\t{},{}", s.mean, s.std_dev));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "target_stats\t{},{}\n",
+        c.target_stats.mean, c.target_stats.std_dev
+    ));
+
+    for w in &dataset.workers {
+        let profile: Vec<String> = (0..w.profile.num_domains())
+            .map(|d| match w.profile.accuracy(d) {
+                Some(a) => format!("{a},{}", w.profile.task_count(d)),
+                None => "-".to_string(),
+            })
+            .collect();
+        let latent: Vec<String> = w
+            .latent_prior_accuracies
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        out.push_str(&format!(
+            "worker\t{}\t{}\t{}\t{}\n",
+            w.initial_target_accuracy,
+            profile.join(";"),
+            latent.join(","),
+            w.learning_aptitude
+        ));
+    }
+
+    for t in dataset.learning_tasks.tasks() {
+        out.push_str(&format!("task\tlearning\t{}\n", u8::from(t.gold)));
+    }
+    for t in dataset.working_tasks.tasks() {
+        out.push_str(&format!("task\tworking\t{}\n", u8::from(t.gold)));
+    }
+    out
+}
+
+/// Parses a dataset from the text format produced by [`to_text`].
+pub fn from_text(text: &str) -> Result<Dataset, SimError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, line)) if line.trim() == HEADER => {}
+        other => {
+            return Err(SimError::Parse {
+                line: 1,
+                message: format!("missing header, got {:?}", other.map(|(_, l)| l)),
+            })
+        }
+    }
+
+    let mut name = String::new();
+    let mut pool = 0usize;
+    let mut q = 0usize;
+    let mut k = 0usize;
+    let mut prior_tasks = 0usize;
+    let mut working = 0usize;
+    let mut seed = 0u64;
+    let mut prior_stats: Vec<DomainStats> = Vec::new();
+    let mut target_stats: Option<DomainStats> = None;
+    let mut workers: Vec<WorkerSpec> = Vec::new();
+    let mut learning_gold: Vec<bool> = Vec::new();
+    let mut working_gold: Vec<bool> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "config" => {
+                for field in &fields[1..] {
+                    let (key, value) = field.split_once('=').ok_or_else(|| SimError::Parse {
+                        line: line_no,
+                        message: format!("malformed config field {field}"),
+                    })?;
+                    let parse_usize = |v: &str| {
+                        v.parse::<usize>().map_err(|e| SimError::Parse {
+                            line: line_no,
+                            message: format!("bad integer {v}: {e}"),
+                        })
+                    };
+                    match key {
+                        "name" => name = value.to_string(),
+                        "pool" => pool = parse_usize(value)?,
+                        "q" => q = parse_usize(value)?,
+                        "k" => k = parse_usize(value)?,
+                        "prior_tasks" => prior_tasks = parse_usize(value)?,
+                        "working" => working = parse_usize(value)?,
+                        "seed" => {
+                            seed = value.parse::<u64>().map_err(|e| SimError::Parse {
+                                line: line_no,
+                                message: format!("bad seed {value}: {e}"),
+                            })?
+                        }
+                        _ => {
+                            return Err(SimError::Parse {
+                                line: line_no,
+                                message: format!("unknown config key {key}"),
+                            })
+                        }
+                    }
+                }
+            }
+            "prior_stats" => {
+                for field in &fields[1..] {
+                    prior_stats.push(parse_stats(field, line_no)?);
+                }
+            }
+            "target_stats" => {
+                let field = fields.get(1).ok_or_else(|| SimError::Parse {
+                    line: line_no,
+                    message: "target_stats needs one value".to_string(),
+                })?;
+                target_stats = Some(parse_stats(field, line_no)?);
+            }
+            "worker" => {
+                if fields.len() < 4 {
+                    return Err(SimError::Parse {
+                        line: line_no,
+                        message: "worker line needs 4 fields".to_string(),
+                    });
+                }
+                let initial = parse_f64(fields[1], line_no)?;
+                let aptitude = match fields.get(4) {
+                    Some(v) => parse_f64(v, line_no)?,
+                    None => 0.0,
+                };
+                let mut accuracies = Vec::new();
+                let mut counts = Vec::new();
+                for entry in fields[2].split(';') {
+                    if entry == "-" {
+                        accuracies.push(None);
+                        counts.push(0);
+                    } else {
+                        let (a, n) = entry.split_once(',').ok_or_else(|| SimError::Parse {
+                            line: line_no,
+                            message: format!("malformed profile entry {entry}"),
+                        })?;
+                        accuracies.push(Some(parse_f64(a, line_no)?));
+                        counts.push(a_to_usize(n, line_no)?);
+                    }
+                }
+                let latent: Result<Vec<f64>, _> = fields[3]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|v| parse_f64(v, line_no))
+                    .collect();
+                workers.push(WorkerSpec {
+                    profile: HistoricalProfile::new(accuracies, counts)?,
+                    initial_target_accuracy: initial,
+                    latent_prior_accuracies: latent?,
+                    learning_aptitude: aptitude,
+                });
+            }
+            "task" => {
+                if fields.len() < 3 {
+                    return Err(SimError::Parse {
+                        line: line_no,
+                        message: "task line needs 3 fields".to_string(),
+                    });
+                }
+                let gold = match fields[2] {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(SimError::Parse {
+                            line: line_no,
+                            message: format!("bad gold label {other}"),
+                        })
+                    }
+                };
+                match fields[1] {
+                    "learning" => learning_gold.push(gold),
+                    "working" => working_gold.push(gold),
+                    other => {
+                        return Err(SimError::Parse {
+                            line: line_no,
+                            message: format!("unknown task kind {other}"),
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(SimError::Parse {
+                    line: line_no,
+                    message: format!("unknown record type {other}"),
+                })
+            }
+        }
+    }
+
+    let target_stats = target_stats.ok_or_else(|| SimError::Parse {
+        line: 0,
+        message: "missing target_stats record".to_string(),
+    })?;
+    let config = DatasetConfig {
+        name,
+        pool_size: pool,
+        tasks_per_batch: q,
+        select_k: k,
+        prior_stats,
+        target_stats,
+        prior_tasks_per_domain: prior_tasks,
+        working_tasks: working,
+        seed,
+        descriptors: Vec::new(),
+        factor_loadings: None,
+    };
+    let learning_tasks = TaskPool::from_tasks(
+        learning_gold
+            .into_iter()
+            .enumerate()
+            .map(|(id, gold)| Task::new(id, Domain::Target, TaskKind::Learning, gold))
+            .collect(),
+    );
+    let working_tasks = TaskPool::from_tasks(
+        working_gold
+            .into_iter()
+            .enumerate()
+            .map(|(id, gold)| Task::new(id, Domain::Target, TaskKind::Working, gold))
+            .collect(),
+    );
+    Dataset::new(config, workers, learning_tasks, working_tasks)
+}
+
+fn parse_stats(field: &str, line: usize) -> Result<DomainStats, SimError> {
+    let (m, s) = field.split_once(',').ok_or_else(|| SimError::Parse {
+        line,
+        message: format!("malformed stats field {field}"),
+    })?;
+    DomainStats::new(parse_f64(m, line)?, parse_f64(s, line)?)
+}
+
+fn parse_f64(value: &str, line: usize) -> Result<f64, SimError> {
+    value.parse::<f64>().map_err(|e| SimError::Parse {
+        line,
+        message: format!("bad float {value}: {e}"),
+    })
+}
+
+fn a_to_usize(value: &str, line: usize) -> Result<usize, SimError> {
+    value.parse::<usize>().map_err(|e| SimError::Parse {
+        line,
+        message: format!("bad integer {value}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn roundtrip_preserves_everything_relevant() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let text = to_text(&ds);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.config.name, ds.config.name);
+        assert_eq!(back.config.pool_size, ds.config.pool_size);
+        assert_eq!(back.config.tasks_per_batch, ds.config.tasks_per_batch);
+        assert_eq!(back.config.select_k, ds.config.select_k);
+        assert_eq!(back.pool_size(), ds.pool_size());
+        assert_eq!(
+            back.initial_target_accuracies(),
+            ds.initial_target_accuracies()
+        );
+        for d in 0..3 {
+            assert_eq!(back.prior_accuracies(d), ds.prior_accuracies(d));
+        }
+        assert_eq!(back.learning_tasks.len(), ds.learning_tasks.len());
+        assert_eq!(back.working_tasks.len(), ds.working_tasks.len());
+        for (a, b) in back
+            .learning_tasks
+            .tasks()
+            .iter()
+            .zip(ds.learning_tasks.tasks())
+        {
+            assert_eq!(a.gold, b.gold);
+        }
+    }
+
+    #[test]
+    fn missing_profile_entries_roundtrip() {
+        let mut ds = generate(&DatasetConfig::rw1()).unwrap();
+        // Blank out one worker's record on domain 1.
+        let w = &mut ds.workers[3];
+        let mut accs: Vec<Option<f64>> = (0..3).map(|d| w.profile.accuracy(d)).collect();
+        accs[1] = None;
+        let counts: Vec<usize> = (0..3).map(|d| w.profile.task_count(d)).collect();
+        w.profile = HistoricalProfile::new(accs, counts).unwrap();
+        let text = to_text(&ds);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.workers[3].profile.accuracy(1), None);
+        assert_eq!(back.workers[3].profile.accuracy(0), ds.workers[3].profile.accuracy(0));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_line_numbers() {
+        assert!(matches!(
+            from_text("not a dataset"),
+            Err(SimError::Parse { line: 1, .. })
+        ));
+        let bad_record = format!("{HEADER}\nbogus\tx\n");
+        assert!(matches!(
+            from_text(&bad_record),
+            Err(SimError::Parse { line: 2, .. })
+        ));
+        let bad_task = format!("{HEADER}\ntask\tlearning\t7\n");
+        assert!(from_text(&bad_task).is_err());
+        let bad_config = format!("{HEADER}\nconfig\tpool=abc\n");
+        assert!(from_text(&bad_config).is_err());
+        let missing_target = format!("{HEADER}\nconfig\tname=X\tpool=1\tq=1\tk=1\tprior_tasks=1\tworking=1\tseed=0\nprior_stats\t0.5,0.1\n");
+        assert!(from_text(&missing_target).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut text = to_text(&ds);
+        text.push_str("\n# trailing comment\n\n");
+        assert!(from_text(&text).is_ok());
+    }
+}

@@ -1,0 +1,433 @@
+//! The crowdsourcing platform simulator.
+//!
+//! A [`Platform`] owns a pool of trainable [`SimulatedWorker`]s plus the learning and
+//! working task pools of one dataset, tracks the task budget, and exposes the two
+//! operations every selection strategy needs:
+//!
+//! 1. [`Platform::assign_learning_batch`] — assign the next contiguous slice of
+//!    learning tasks to a set of workers, record their answers, and reveal the ground
+//!    truth so the workers learn (Definitions 3–4 of the paper, Algorithm 4 lines
+//!    5–11);
+//! 2. [`Platform::evaluate_working_accuracy`] — have a set of workers annotate the
+//!    working tasks and report their average accuracy, the evaluation criterion of
+//!    Sec. V-C.
+//!
+//! The platform is strategy-agnostic: the core algorithm and every baseline drive it
+//! through the same interface, so all of them see identical workers, identical tasks,
+//! and an identical budget.
+
+use crate::dataset::Dataset;
+use crate::task::AnswerSheet;
+use crate::worker::{HistoricalProfile, SimulatedWorker, WorkerId};
+use crate::SimError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Record of one training assignment (one strategy round).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based index of the assignment in platform history.
+    pub round: usize,
+    /// Index of the first learning task assigned (into the learning pool, before
+    /// wrap-around).
+    pub task_start: usize,
+    /// Number of learning tasks assigned to each worker.
+    pub tasks_per_worker: usize,
+    /// One answer sheet per participating worker, in the order they were passed in.
+    pub sheets: Vec<AnswerSheet>,
+}
+
+impl RoundRecord {
+    /// Gold labels of the assigned tasks (identical for every participating worker).
+    pub fn gold(&self) -> &[bool] {
+        self.sheets.first().map(|s| s.gold.as_slice()).unwrap_or(&[])
+    }
+
+    /// Observed accuracy of a specific worker in this round, if they participated.
+    pub fn accuracy_of(&self, worker: WorkerId) -> Option<f64> {
+        self.sheets
+            .iter()
+            .find(|s| s.worker == worker)
+            .map(|s| s.accuracy())
+    }
+}
+
+/// The running state of a simulated crowdsourcing platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    workers: Vec<SimulatedWorker>,
+    learning_gold: Vec<bool>,
+    working_gold: Vec<bool>,
+    rng: StdRng,
+    budget_total: usize,
+    budget_spent: usize,
+    learning_cursor: usize,
+    history: Vec<RoundRecord>,
+}
+
+impl Platform {
+    /// Instantiates a platform from a dataset.
+    ///
+    /// * `seed` — controls the answering noise (independent of the dataset seed);
+    /// * `target_difficulty` — the difficulty parameter `beta_T` driving the workers'
+    ///   true learning dynamics. The paper's Yes/No tasks use `beta_T = 0`
+    ///   (equivalently an untrained accuracy of 0.5); [`Platform::from_dataset`] uses
+    ///   that default.
+    pub fn new(dataset: &Dataset, seed: u64, target_difficulty: f64) -> Result<Self, SimError> {
+        let workers: Result<Vec<_>, _> = dataset
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| {
+                SimulatedWorker::new(
+                    id,
+                    spec,
+                    target_difficulty,
+                    dataset.config.tasks_per_batch,
+                )
+            })
+            .collect();
+        Ok(Self {
+            workers: workers?,
+            learning_gold: dataset.learning_tasks.tasks().iter().map(|t| t.gold).collect(),
+            working_gold: dataset.working_tasks.tasks().iter().map(|t| t.gold).collect(),
+            rng: StdRng::seed_from_u64(seed),
+            budget_total: dataset.config.budget(),
+            budget_spent: 0,
+            learning_cursor: 0,
+            history: Vec::new(),
+        })
+    }
+
+    /// Instantiates a platform with the default target difficulty `beta_T = 0`.
+    pub fn from_dataset(dataset: &Dataset, seed: u64) -> Result<Self, SimError> {
+        Self::new(dataset, seed, 0.0)
+    }
+
+    /// Number of workers in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// All worker identifiers (dense, 0-based).
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        (0..self.workers.len()).collect()
+    }
+
+    /// Total task budget `B`.
+    pub fn budget_total(&self) -> usize {
+        self.budget_total
+    }
+
+    /// Learning tasks assigned so far.
+    pub fn budget_spent(&self) -> usize {
+        self.budget_spent
+    }
+
+    /// Learning-task budget still available.
+    pub fn budget_remaining(&self) -> usize {
+        self.budget_total.saturating_sub(self.budget_spent)
+    }
+
+    /// Historical profile of a worker.
+    pub fn profile(&self, worker: WorkerId) -> Result<&HistoricalProfile, SimError> {
+        self.workers
+            .get(worker)
+            .map(|w| w.profile())
+            .ok_or(SimError::UnknownWorker { id: worker })
+    }
+
+    /// Historical profiles of all workers, indexed by worker id.
+    pub fn profiles(&self) -> Vec<&HistoricalProfile> {
+        self.workers.iter().map(|w| w.profile()).collect()
+    }
+
+    /// Current *true* target-domain accuracy of a worker (an oracle quantity — the
+    /// selection algorithms never see it; it exists for the ground-truth baseline and
+    /// for evaluation diagnostics).
+    pub fn true_accuracy(&self, worker: WorkerId) -> Result<f64, SimError> {
+        self.workers
+            .get(worker)
+            .map(|w| w.current_accuracy())
+            .ok_or(SimError::UnknownWorker { id: worker })
+    }
+
+    /// Current true accuracies of all workers, indexed by worker id.
+    pub fn true_accuracies(&self) -> Vec<f64> {
+        self.workers.iter().map(|w| w.current_accuracy()).collect()
+    }
+
+    /// Cumulative learning tasks revealed to a worker so far.
+    pub fn cumulative_learning_tasks(&self, worker: WorkerId) -> Result<usize, SimError> {
+        self.workers
+            .get(worker)
+            .map(|w| w.cumulative_learning_tasks())
+            .ok_or(SimError::UnknownWorker { id: worker })
+    }
+
+    /// Records of every assignment run so far.
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// Number of assignment rounds run so far.
+    pub fn rounds_run(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Assigns the next `tasks_per_worker` learning tasks to every worker in
+    /// `worker_ids`, records their answers, and reveals the ground truth so they
+    /// learn. All listed workers receive the *same* tasks, exactly as in Algorithm 4
+    /// (line 5: one shared slice of golden questions per round).
+    ///
+    /// Returns an error if a worker id is unknown or if the assignment would exceed
+    /// the total budget. The learning-task pool is treated as circular: if the cursor
+    /// runs past the end (possible only when a caller assigns more tasks than the
+    /// paper's schedule), task gold labels repeat from the beginning.
+    pub fn assign_learning_batch(
+        &mut self,
+        worker_ids: &[WorkerId],
+        tasks_per_worker: usize,
+    ) -> Result<RoundRecord, SimError> {
+        if worker_ids.is_empty() || tasks_per_worker == 0 {
+            let record = RoundRecord {
+                round: self.history.len() + 1,
+                task_start: self.learning_cursor,
+                tasks_per_worker: 0,
+                sheets: Vec::new(),
+            };
+            self.history.push(record.clone());
+            return Ok(record);
+        }
+        for &id in worker_ids {
+            if id >= self.workers.len() {
+                return Err(SimError::UnknownWorker { id });
+            }
+        }
+        let requested = tasks_per_worker * worker_ids.len();
+        if requested > self.budget_remaining() {
+            return Err(SimError::BudgetExceeded {
+                requested,
+                remaining: self.budget_remaining(),
+            });
+        }
+        if self.learning_gold.is_empty() {
+            return Err(SimError::TaskRangeOutOfBounds {
+                start: 0,
+                end: tasks_per_worker,
+                pool: 0,
+            });
+        }
+
+        // Gold labels of the shared slice, with circular wrap-around.
+        let gold: Vec<bool> = (0..tasks_per_worker)
+            .map(|i| self.learning_gold[(self.learning_cursor + i) % self.learning_gold.len()])
+            .collect();
+
+        let mut sheets = Vec::with_capacity(worker_ids.len());
+        for &id in worker_ids {
+            let sheet = self.workers[id].answer_learning_batch(&mut self.rng, &gold)?;
+            sheets.push(sheet);
+        }
+
+        let record = RoundRecord {
+            round: self.history.len() + 1,
+            task_start: self.learning_cursor,
+            tasks_per_worker,
+            sheets,
+        };
+        self.learning_cursor += tasks_per_worker;
+        self.budget_spent += requested;
+        self.history.push(record.clone());
+        Ok(record)
+    }
+
+    /// Has every worker in `worker_ids` annotate the full working-task pool and
+    /// returns their average observed accuracy — the evaluation criterion of the
+    /// paper (Sec. V-C). Working tasks never reveal their ground truth, so this does
+    /// not train the workers and does not consume budget.
+    pub fn evaluate_working_accuracy(&mut self, worker_ids: &[WorkerId]) -> Result<f64, SimError> {
+        if worker_ids.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0.0;
+        for &id in worker_ids {
+            let worker = self
+                .workers
+                .get(id)
+                .ok_or(SimError::UnknownWorker { id })?;
+            let sheet = worker.answer_working_batch(&mut self.rng, &self.working_gold)?;
+            total += sheet.accuracy();
+        }
+        Ok(total / worker_ids.len() as f64)
+    }
+
+    /// Average *true* (noise-free) accuracy of the listed workers — a lower-variance
+    /// alternative evaluation used by some diagnostics.
+    pub fn expected_working_accuracy(&self, worker_ids: &[WorkerId]) -> Result<f64, SimError> {
+        if worker_ids.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0.0;
+        for &id in worker_ids {
+            total += self.true_accuracy(id)?;
+        }
+        Ok(total / worker_ids.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::generator::generate;
+
+    fn platform() -> Platform {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        Platform::from_dataset(&ds, 7).unwrap()
+    }
+
+    #[test]
+    fn construction_reflects_dataset() {
+        let p = platform();
+        assert_eq!(p.pool_size(), 27);
+        assert_eq!(p.budget_total(), 540);
+        assert_eq!(p.budget_spent(), 0);
+        assert_eq!(p.budget_remaining(), 540);
+        assert_eq!(p.worker_ids().len(), 27);
+        assert_eq!(p.profiles().len(), 27);
+        assert_eq!(p.true_accuracies().len(), 27);
+        assert_eq!(p.rounds_run(), 0);
+    }
+
+    #[test]
+    fn unknown_worker_errors() {
+        let mut p = platform();
+        assert!(p.profile(100).is_err());
+        assert!(p.true_accuracy(100).is_err());
+        assert!(p.cumulative_learning_tasks(100).is_err());
+        assert!(p.assign_learning_batch(&[0, 100], 5).is_err());
+        assert!(p.evaluate_working_accuracy(&[100]).is_err());
+    }
+
+    #[test]
+    fn learning_batch_trains_workers_and_spends_budget() {
+        let mut p = platform();
+        let ids = p.worker_ids();
+        let record = p.assign_learning_batch(&ids, 10).unwrap();
+        assert_eq!(record.round, 1);
+        assert_eq!(record.sheets.len(), 27);
+        assert_eq!(record.tasks_per_worker, 10);
+        assert_eq!(record.gold().len(), 10);
+        assert_eq!(p.budget_spent(), 270);
+        assert_eq!(p.budget_remaining(), 270);
+        assert_eq!(p.rounds_run(), 1);
+        for &id in &ids {
+            assert_eq!(p.cumulative_learning_tasks(id).unwrap(), 10);
+        }
+        // Accuracy lookup per worker from the record.
+        assert!(record.accuracy_of(0).is_some());
+        assert!(record.accuracy_of(999).is_none());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut p = platform();
+        let ids = p.worker_ids();
+        p.assign_learning_batch(&ids, 10).unwrap();
+        // 270 remaining; 27 workers * 11 tasks = 297 > 270.
+        let err = p.assign_learning_batch(&ids, 11).unwrap_err();
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
+        // A smaller assignment still fits.
+        p.assign_learning_batch(&ids[..14], 19).unwrap();
+        assert!(p.budget_spent() <= p.budget_total());
+    }
+
+    #[test]
+    fn empty_assignment_is_a_noop_round() {
+        let mut p = platform();
+        let record = p.assign_learning_batch(&[], 10).unwrap();
+        assert_eq!(record.sheets.len(), 0);
+        assert_eq!(p.budget_spent(), 0);
+        let record = p.assign_learning_batch(&[0, 1], 0).unwrap();
+        assert_eq!(record.tasks_per_worker, 0);
+        assert_eq!(p.budget_spent(), 0);
+    }
+
+    #[test]
+    fn training_improves_strong_workers_over_batches() {
+        // Workers whose initial accuracy is above the 0.5 task baseline follow an
+        // increasing IRT trajectory: after several revealed batches their true
+        // accuracy should be higher than it was before training (the simulated
+        // counterpart of the accuracy uplift reported in Sec. V-H of the paper).
+        let mut p = platform();
+        let ids = p.worker_ids();
+        let initial = p.true_accuracies();
+        let strong: Vec<_> = ids
+            .iter()
+            .copied()
+            .filter(|&id| initial[id] > 0.65)
+            .collect();
+        assert!(!strong.is_empty(), "RW-1 pool should contain strong workers");
+        let before = p.expected_working_accuracy(&strong).unwrap();
+        for _ in 0..3 {
+            p.assign_learning_batch(&strong, 6).unwrap();
+        }
+        let after = p.expected_working_accuracy(&strong).unwrap();
+        assert!(
+            after > before + 0.02,
+            "training should lift strong workers: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn working_evaluation_reflects_true_accuracy() {
+        let mut p = platform();
+        let truths = p.true_accuracies();
+        // Index of the strongest and weakest worker by true accuracy.
+        let best = (0..truths.len())
+            .max_by(|&a, &b| truths[a].partial_cmp(&truths[b]).unwrap())
+            .unwrap();
+        let worst = (0..truths.len())
+            .min_by(|&a, &b| truths[a].partial_cmp(&truths[b]).unwrap())
+            .unwrap();
+        let best_acc = p.evaluate_working_accuracy(&[best]).unwrap();
+        let worst_acc = p.evaluate_working_accuracy(&[worst]).unwrap();
+        assert!(best_acc > worst_acc);
+        assert_eq!(p.evaluate_working_accuracy(&[]).unwrap(), 0.0);
+        // Evaluation never consumes budget.
+        assert_eq!(p.budget_spent(), 0);
+    }
+
+    #[test]
+    fn history_accumulates_in_order() {
+        let mut p = platform();
+        let ids = p.worker_ids();
+        p.assign_learning_batch(&ids, 5).unwrap();
+        p.assign_learning_batch(&ids[..10], 5).unwrap();
+        assert_eq!(p.history().len(), 2);
+        assert_eq!(p.history()[0].round, 1);
+        assert_eq!(p.history()[1].round, 2);
+        assert_eq!(p.history()[1].sheets.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let run = |seed| {
+            let mut p = Platform::from_dataset(&ds, seed).unwrap();
+            let ids = p.worker_ids();
+            let record = p.assign_learning_batch(&ids, 10).unwrap();
+            let observed: Vec<f64> = record.sheets.iter().map(|s| s.accuracy()).collect();
+            (p.true_accuracies(), observed)
+        };
+        // Same seed: identical observed answers and identical true trajectories.
+        assert_eq!(run(3), run(3));
+        // Different seed: the true trajectories are a latent property of the dataset
+        // (identical), but the observed answers differ.
+        let (truth_a, obs_a) = run(3);
+        let (truth_b, obs_b) = run(4);
+        assert_eq!(truth_a, truth_b);
+        assert_ne!(obs_a, obs_b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Calibration of the per-worker learning parameter `alpha_i` (Eq. 11 of the paper).
+//!
+//! In every elimination round the Learning Gain Estimation refits each remaining
+//! worker's `alpha_i` by minimising a two-part least-squares objective:
+//!
+//! ```text
+//! alpha_i = argmin_alpha   sum_{d=1..D} ( g(alpha, beta_d, n_{i,d}) - h_{i,d} )^2
+//!                        + sum_{j=1..c} ( g(alpha, beta_T, K_{j-1}) - p_{j,i} )^2
+//! ```
+//!
+//! The first part anchors the learning curve to the worker's historical accuracy on
+//! each prior domain (evaluated at the number of tasks the worker completed there);
+//! the second part tracks the CPE-estimated target-domain accuracy across the
+//! training rounds observed so far, with the model evaluated one round "behind"
+//! because the CPE estimate of round `j` reflects a worker who has been shown only
+//! `j-1` rounds of ground-truth answers.
+//!
+//! The objective is a smooth scalar function of `alpha`, minimised with
+//! golden-section search plus Newton polish from `c4u-optim`.
+
+use crate::learning::LearningGainModel;
+use crate::IrtError;
+use c4u_optim::minimize_scalar;
+use c4u_stats::sigmoid;
+
+/// One prior-domain anchor point of the Eq. 11 objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorDomainObservation {
+    /// Difficulty parameter `beta_d` of the prior domain.
+    pub difficulty: f64,
+    /// Number of tasks the worker completed on that domain (`n_{i,d}`).
+    pub tasks_completed: f64,
+    /// Historical accuracy `h_{i,d}` of the worker on that domain.
+    pub accuracy: f64,
+}
+
+/// One target-domain tracking point of the Eq. 11 objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetStageObservation {
+    /// Cumulative learning tasks the worker had been trained with *before* the CPE
+    /// estimate was produced (`K_{j-1}`).
+    pub cumulative_tasks_before: f64,
+    /// CPE-estimated target-domain accuracy at stage `j` (`p_{j,i}`).
+    pub estimated_accuracy: f64,
+}
+
+/// Bounds of the search bracket for `alpha`. The logit of any realistic accuracy is
+/// within ±7 and `ln(K+1)` is at least `ln 2` for a single task, so ±20 comfortably
+/// covers every identifiable value.
+const ALPHA_BRACKET: (f64, f64) = (-20.0, 20.0);
+
+/// Result of one calibration: the fitted `alpha` and the residual objective value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedAlpha {
+    /// Fitted learning parameter.
+    pub alpha: f64,
+    /// Residual sum of squares at the fitted value.
+    pub residual: f64,
+}
+
+/// Evaluates the Eq. 11 objective for a given `alpha`.
+pub fn objective(
+    alpha: f64,
+    target_difficulty: f64,
+    priors: &[PriorDomainObservation],
+    stages: &[TargetStageObservation],
+) -> f64 {
+    let mut total = 0.0;
+    for p in priors {
+        let theta = alpha * (p.tasks_completed.max(0.0) + 1.0).ln();
+        let predicted = sigmoid(theta - p.difficulty);
+        total += (predicted - p.accuracy).powi(2);
+    }
+    for s in stages {
+        let theta = alpha * (s.cumulative_tasks_before.max(0.0) + 1.0).ln();
+        let predicted = sigmoid(theta - target_difficulty);
+        total += (predicted - s.estimated_accuracy).powi(2);
+    }
+    total
+}
+
+/// Fits `alpha_i` by minimising the Eq. 11 objective.
+///
+/// At least one observation (prior-domain anchor or target-domain stage) is required;
+/// with none the parameter is unidentifiable and an error is returned.
+pub fn calibrate_alpha(
+    target_difficulty: f64,
+    priors: &[PriorDomainObservation],
+    stages: &[TargetStageObservation],
+) -> Result<CalibratedAlpha, IrtError> {
+    if priors.is_empty() && stages.is_empty() {
+        return Err(IrtError::Calibration(
+            "alpha is unidentifiable without any observations".to_string(),
+        ));
+    }
+    if !target_difficulty.is_finite() {
+        return Err(IrtError::InvalidParameter {
+            what: "target difficulty must be finite",
+            value: target_difficulty,
+        });
+    }
+    for p in priors {
+        if !(0.0..=1.0).contains(&p.accuracy) || p.accuracy.is_nan() {
+            return Err(IrtError::InvalidParameter {
+                what: "prior-domain accuracy must lie in [0, 1]",
+                value: p.accuracy,
+            });
+        }
+    }
+    for s in stages {
+        if !(0.0..=1.0).contains(&s.estimated_accuracy) || s.estimated_accuracy.is_nan() {
+            return Err(IrtError::InvalidParameter {
+                what: "stage accuracy must lie in [0, 1]",
+                value: s.estimated_accuracy,
+            });
+        }
+    }
+
+    let f = |alpha: f64| objective(alpha, target_difficulty, priors, stages);
+    let minimum = minimize_scalar(f, ALPHA_BRACKET.0, ALPHA_BRACKET.1, 1e-7)
+        .map_err(|e| IrtError::Calibration(e.to_string()))?;
+    Ok(CalibratedAlpha {
+        alpha: minimum.x,
+        residual: minimum.value,
+    })
+}
+
+/// Convenience: calibrates `alpha` and immediately returns the learning-gain model
+/// for the target domain.
+pub fn calibrate_model(
+    target_difficulty: f64,
+    priors: &[PriorDomainObservation],
+    stages: &[TargetStageObservation],
+) -> Result<LearningGainModel, IrtError> {
+    let fitted = calibrate_alpha(target_difficulty, priors, stages)?;
+    LearningGainModel::new(fitted.alpha, target_difficulty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prior(difficulty: f64, tasks: f64, accuracy: f64) -> PriorDomainObservation {
+        PriorDomainObservation {
+            difficulty,
+            tasks_completed: tasks,
+            accuracy,
+        }
+    }
+
+    fn stage(k: f64, acc: f64) -> TargetStageObservation {
+        TargetStageObservation {
+            cumulative_tasks_before: k,
+            estimated_accuracy: acc,
+        }
+    }
+
+    #[test]
+    fn recovers_alpha_from_noiseless_observations() {
+        // Generate observations from a known model and check they are recovered.
+        let true_alpha = 0.65;
+        let beta_t = 0.0;
+        let model = LearningGainModel::new(true_alpha, beta_t).unwrap();
+        let priors: Vec<_> = [(0.8, 20.0), (-0.2, 10.0), (0.3, 15.0)]
+            .iter()
+            .map(|&(beta_d, n)| {
+                let m = LearningGainModel::new(true_alpha, beta_d).unwrap();
+                prior(beta_d, n, m.accuracy(n))
+            })
+            .collect();
+        let stages: Vec<_> = [0.0, 10.0, 30.0]
+            .iter()
+            .map(|&k| stage(k, model.accuracy(k)))
+            .collect();
+        let fitted = calibrate_alpha(beta_t, &priors, &stages).unwrap();
+        assert!(
+            (fitted.alpha - true_alpha).abs() < 1e-3,
+            "fitted {} true {}",
+            fitted.alpha,
+            true_alpha
+        );
+        assert!(fitted.residual < 1e-8);
+    }
+
+    #[test]
+    fn fast_learner_gets_larger_alpha_than_slow_learner() {
+        let beta_t = 0.0;
+        // Fast learner: accuracy grows quickly across stages.
+        let fast = calibrate_alpha(
+            beta_t,
+            &[],
+            &[stage(0.0, 0.5), stage(10.0, 0.8), stage(30.0, 0.9)],
+        )
+        .unwrap();
+        // Slow learner: accuracy stays flat.
+        let slow = calibrate_alpha(
+            beta_t,
+            &[],
+            &[stage(0.0, 0.5), stage(10.0, 0.55), stage(30.0, 0.6)],
+        )
+        .unwrap();
+        assert!(fast.alpha > slow.alpha);
+    }
+
+    #[test]
+    fn declining_worker_gets_negative_alpha() {
+        let fitted = calibrate_alpha(
+            0.0,
+            &[],
+            &[stage(5.0, 0.4), stage(15.0, 0.35), stage(40.0, 0.3)],
+        )
+        .unwrap();
+        assert!(fitted.alpha < 0.0);
+    }
+
+    #[test]
+    fn prior_domains_alone_are_sufficient() {
+        // Round 1 of the pipeline calls the calibration with only the prior-domain
+        // anchors (no CPE stages yet).
+        let fitted = calibrate_alpha(
+            0.0,
+            &[prior(0.8, 20.0, 0.7), prior(-0.1, 10.0, 0.88), prior(0.3, 10.0, 0.58)],
+            &[],
+        )
+        .unwrap();
+        assert!(fitted.alpha.is_finite());
+        // Workers with strong priors should have positive alpha under this anchor.
+        assert!(fitted.alpha > 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(calibrate_alpha(0.0, &[], &[]).is_err());
+        assert!(calibrate_alpha(f64::NAN, &[prior(0.0, 5.0, 0.5)], &[]).is_err());
+        assert!(calibrate_alpha(0.0, &[prior(0.0, 5.0, 1.5)], &[]).is_err());
+        assert!(calibrate_alpha(0.0, &[], &[stage(5.0, -0.1)]).is_err());
+    }
+
+    #[test]
+    fn calibrate_model_produces_usable_predictor() {
+        let model = calibrate_model(
+            0.0,
+            &[],
+            &[stage(0.0, 0.5), stage(10.0, 0.75), stage(30.0, 0.85)],
+        )
+        .unwrap();
+        // Predicting further training should extrapolate above the last observation
+        // for an improving worker.
+        assert!(model.accuracy(60.0) > 0.8);
+        assert!(model.accuracy(60.0) <= 1.0);
+    }
+
+    #[test]
+    fn objective_is_zero_at_perfect_fit() {
+        let alpha = 0.4;
+        let m = LearningGainModel::new(alpha, 0.2).unwrap();
+        let obs = [stage(8.0, m.accuracy(8.0))];
+        assert!(objective(alpha, 0.2, &[], &obs) < 1e-15);
+        assert!(objective(alpha + 0.5, 0.2, &[], &obs) > 1e-4);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the IRT / knowledge-tracing crate.
+
+use std::fmt;
+
+/// Errors produced by IRT model construction and calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrtError {
+    /// A model parameter was outside its valid range.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two inputs that must agree in length did not.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        what: &'static str,
+        /// Left-hand extent.
+        left: usize,
+        /// Right-hand extent.
+        right: usize,
+    },
+    /// Calibration failed (no observations, or the optimiser reported an error).
+    Calibration(String),
+}
+
+impl fmt::Display for IrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrtError::InvalidParameter { what, value } => {
+                write!(f, "invalid IRT parameter: {what} (got {value})")
+            }
+            IrtError::DimensionMismatch { what, left, right } => {
+                write!(f, "dimension mismatch: {what} ({left} vs {right})")
+            }
+            IrtError::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IrtError::InvalidParameter {
+            what: "beta",
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("beta"));
+        assert!(IrtError::DimensionMismatch {
+            what: "profiles",
+            left: 3,
+            right: 4
+        }
+        .to_string()
+        .contains("3 vs 4"));
+        assert!(IrtError::Calibration("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+}

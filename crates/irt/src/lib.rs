@@ -1,0 +1,52 @@
+//! # c4u-irt
+//!
+//! Item Response Theory and knowledge-tracing models for the C4U (cross-domain-aware
+//! worker selection with training) workspace.
+//!
+//! The Learning Gain Estimation step of the paper (Sec. IV-C2) models how a crowd
+//! worker's accuracy on the target domain improves as ground-truth answers of
+//! learning tasks are revealed. This crate provides:
+//!
+//! * [`RaschItem`] — the classic 1PL IRT model (Eq. 9) plus the
+//!   `beta = ln(1/a - 1)` difficulty initialisation of Sec. V-C;
+//! * [`LearningGainModel`] — the modified IRT model `g(alpha, beta, K)` with
+//!   proficiency `alpha * ln(K + 1)` (Eq. 10), including the
+//!   [`cumulative_tasks_after_round`] schedule `K_j = (2^j - 1) t / |W|`;
+//! * [`calibrate_alpha`] / [`calibrate_model`] — the per-worker least-squares fit of
+//!   the learning parameter (Eq. 11);
+//! * [`BktModel`] — a Bayesian Knowledge Tracing tracker used by the benchmark
+//!   harness as an ablation of the learner-model choice.
+//!
+//! ## Example
+//!
+//! ```
+//! use c4u_irt::{calibrate_model, TargetStageObservation};
+//!
+//! // A worker whose estimated accuracy improved from 0.5 to 0.8 over training.
+//! let stages = [
+//!     TargetStageObservation { cumulative_tasks_before: 0.0, estimated_accuracy: 0.5 },
+//!     TargetStageObservation { cumulative_tasks_before: 10.0, estimated_accuracy: 0.7 },
+//!     TargetStageObservation { cumulative_tasks_before: 30.0, estimated_accuracy: 0.8 },
+//! ];
+//! let model = calibrate_model(0.0, &[], &stages).unwrap();
+//! // Predict accuracy after further training.
+//! assert!(model.accuracy(70.0) > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bkt;
+mod calibration;
+mod error;
+mod learning;
+mod rasch;
+
+pub use bkt::{BktModel, BktParams};
+pub use calibration::{
+    calibrate_alpha, calibrate_model, objective as learning_objective, CalibratedAlpha,
+    PriorDomainObservation, TargetStageObservation,
+};
+pub use error::IrtError;
+pub use learning::{cumulative_tasks_after_round, LearningGainModel};
+pub use rasch::RaschItem;

@@ -1,0 +1,274 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! The multivariate-normal machinery in `c4u-stats` relies on Cholesky factors for
+//! three things: sampling (`x = mu + L z`), evaluating log-densities (via the
+//! log-determinant `2 * sum(ln L_ii)`), and solving `Sigma^{-1} b` without forming the
+//! inverse explicitly. Because the CPE gradient-descent updates of the covariance can
+//! momentarily push it slightly outside the PSD cone, [`Cholesky::new_with_jitter`]
+//! implements the standard "add diagonal jitter and retry" repair loop.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::triangular::{solve_lower_triangular, solve_upper_triangular};
+use crate::vector::Vector;
+
+/// The lower-triangular Cholesky factor `L` with `A = L * L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that had to be added to the diagonal to make the factorisation succeed.
+    jitter_used: f64,
+}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix.
+    ///
+    /// The input is symmetrised first (`(A + A^T)/2`) so that tiny asymmetries coming
+    /// from gradient updates do not cause spurious failures. Returns
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot becomes non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let a = a.symmetrize()?;
+        let n = a.nrows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            index: i,
+                            value: sum,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l, jitter_used: 0.0 })
+    }
+
+    /// Factorises `a`, adding exponentially growing diagonal jitter until the
+    /// factorisation succeeds or `max_tries` is exhausted.
+    ///
+    /// `initial_jitter` is scaled relative to the mean diagonal magnitude so that the
+    /// repair is invariant to the overall scale of the covariance.
+    pub fn new_with_jitter(a: &Matrix, initial_jitter: f64, max_tries: usize) -> Result<Self> {
+        match Self::new(a) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let n = a.nrows().max(1);
+        let mean_diag = (0..a.nrows())
+            .map(|i| a[(i, i)].abs())
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE)
+            / n as f64;
+        let mut jitter = initial_jitter * mean_diag.max(1e-12);
+        let mut last_err = LinalgError::NotPositiveDefinite { index: 0, value: 0.0 };
+        for _ in 0..max_tries {
+            let repaired = a.add_diagonal(jitter)?;
+            match Self::new(&repaired) {
+                Ok(mut c) => {
+                    c.jitter_used = jitter;
+                    return Ok(c);
+                }
+                Err(e @ LinalgError::NotPositiveDefinite { .. }) => {
+                    last_err = e;
+                    jitter *= 10.0;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter that was added to make the factorisation succeed (zero when the
+    /// input was already positive definite).
+    pub fn jitter_used(&self) -> f64 {
+        self.jitter_used
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A x = b` using the factorisation (forward then backward substitution).
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let y = solve_lower_triangular(&self.l, b)?;
+        solve_upper_triangular(&self.l.transpose(), &y)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.nrows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_matrix",
+                left: (self.dim(), self.dim()),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.column(j)?;
+            let x = self.solve(&col)?;
+            for i in 0..b.nrows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Explicit inverse `A^{-1}` (use [`Cholesky::solve`] when only a product with a
+    /// vector is needed).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Natural logarithm of the determinant of `A`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Determinant of `A`.
+    pub fn determinant(&self) -> f64 {
+        self.log_determinant().exp()
+    }
+
+    /// Computes the Mahalanobis-style quadratic form `d^T A^{-1} d`.
+    pub fn mahalanobis_squared(&self, d: &Vector) -> Result<f64> {
+        // d^T A^{-1} d = || L^{-1} d ||^2
+        let y = solve_lower_triangular(&self.l, d)?;
+        Ok(y.dot(&y)?)
+    }
+
+    /// Reconstructs `A = L L^T` (mostly for testing and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .matmul(&self.l.transpose())
+            .expect("L and L^T always conform")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B^T B + I for a well-conditioned SPD matrix.
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factorise_and_reconstruct() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let back = chol.reconstruct();
+        assert!(a.max_abs_diff(&back).unwrap() < 1e-10);
+        assert_eq!(chol.jitter_used(), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_repairs_indefinite_matrix() {
+        // Eigenvalues are 3 and -1; enough jitter makes it SPD.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        let chol = Cholesky::new_with_jitter(&a, 1e-6, 20).unwrap();
+        assert!(chol.jitter_used() > 0.9);
+        // The repaired matrix is close to A + jitter*I.
+        let repaired = a.add_diagonal(chol.jitter_used()).unwrap();
+        assert!(chol.reconstruct().max_abs_diff(&repaired).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn jitter_noop_for_spd() {
+        let a = spd3();
+        let chol = Cholesky::new_with_jitter(&a, 1e-9, 5).unwrap();
+        assert_eq!(chol.jitter_used(), 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct_computation() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let x = chol.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!(back.max_abs_diff(&b).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn log_determinant_matches_2x2_formula() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.5]]).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let det = 2.0 * 1.5 - 0.3 * 0.3;
+        assert!((chol.determinant() - det).abs() < 1e-12);
+        assert!((chol.log_determinant() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_identity_is_squared_norm() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        let d = Vector::from_slice(&[1.0, 2.0, 2.0]);
+        assert!((chol.mahalanobis_squared(&d).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_dimension_check() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types for the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+///
+/// All fallible operations in this crate return [`Result<T>`](crate::Result) with this
+/// error type; dimension mismatches and numerical failures (singular matrices,
+/// non-positive-definite inputs to Cholesky) are reported rather than panicking so
+/// that the higher-level estimation code in `c4u-selection` can recover (e.g. by
+/// adding diagonal jitter and retrying).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols); vectors use `(len, 1)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand (rows, cols); vectors use `(len, 1)`.
+        right: (usize, usize),
+    },
+    /// A square matrix was required but the input was rectangular.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix was singular (or numerically singular) during factorisation.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// Cholesky factorisation failed because the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the diagonal entry whose pivot became non-positive.
+        index: usize,
+        /// The offending pivot value.
+        value: f64,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The length/extent of the container.
+        len: usize,
+    },
+    /// An empty matrix or vector was supplied where a non-empty one is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {value:e} at diagonal index {index})"
+            ),
+            LinalgError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            LinalgError::Empty => write!(f, "empty matrix or vector"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { rows: 3, cols: 4 };
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 2 };
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite {
+            index: 1,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn display_out_of_bounds_and_empty() {
+        assert!(LinalgError::OutOfBounds { index: 5, len: 3 }
+            .to_string()
+            .contains("out of bounds"));
+        assert!(LinalgError::Empty.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinalgError::Empty);
+    }
+}

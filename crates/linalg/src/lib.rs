@@ -1,0 +1,51 @@
+//! # c4u-linalg
+//!
+//! Dense linear-algebra substrate for the C4U (cross-domain-aware worker selection
+//! with training) workspace.
+//!
+//! The cross-domain performance estimator of the paper models worker accuracies with
+//! a `(D+1)`-dimensional multivariate normal distribution, so the whole pipeline needs
+//! a small but reliable set of dense operations on `f64` vectors and matrices:
+//!
+//! * [`Vector`] and [`Matrix`] — storage plus the usual arithmetic, products,
+//!   sub-block extraction and symmetry helpers;
+//! * [`Cholesky`] — factorisation of SPD covariance matrices, with a diagonal-jitter
+//!   repair loop ([`Cholesky::new_with_jitter`]) because gradient updates can push a
+//!   covariance slightly outside the PSD cone;
+//! * [`Lu`] — general square solver used by the ordinary-least-squares baseline;
+//! * triangular solves ([`solve_lower_triangular`], [`solve_upper_triangular`]).
+//!
+//! Everything is implemented from scratch on top of `std`; the crate has no runtime
+//! dependencies.
+//!
+//! ## Example
+//!
+//! ```
+//! use c4u_linalg::{Cholesky, Matrix, Vector};
+//!
+//! let sigma = Matrix::from_rows(&[vec![1.0, 0.3], vec![0.3, 2.0]]).unwrap();
+//! let chol = Cholesky::new(&sigma).unwrap();
+//! let x = chol.solve(&Vector::from_slice(&[1.0, 1.0])).unwrap();
+//! let back = sigma.matvec(&x).unwrap();
+//! assert!((back[0] - 1.0).abs() < 1e-12 && (back[1] - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cholesky;
+mod error;
+mod lu;
+mod matrix;
+mod triangular;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::{LinalgError, Result};
+pub use lu::{determinant, inverse, solve, Lu};
+pub use matrix::Matrix;
+pub use triangular::{
+    solve_lower_triangular, solve_unit_lower_triangular, solve_upper_triangular,
+    SINGULARITY_TOLERANCE,
+};
+pub use vector::Vector;

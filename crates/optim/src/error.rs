@@ -1,0 +1,90 @@
+//! Error type for the optimisation crate.
+
+use std::fmt;
+
+/// Errors produced by optimisers and regression routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// A configuration parameter was invalid (non-positive learning rate, empty
+    /// bracket, zero iterations, ...).
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The objective returned a non-finite value at the given point.
+    NonFiniteObjective {
+        /// Human-readable location description.
+        at: String,
+    },
+    /// Two inputs that must agree in length did not.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        what: &'static str,
+        /// Left-hand extent.
+        left: usize,
+        /// Right-hand extent.
+        right: usize,
+    },
+    /// The design matrix of a least-squares problem was rank deficient.
+    RankDeficient,
+    /// Not enough observations for the requested fit.
+    NotEnoughData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::InvalidConfig { what, value } => {
+                write!(f, "invalid optimiser configuration: {what} (got {value})")
+            }
+            OptimError::NonFiniteObjective { at } => {
+                write!(f, "objective evaluated to a non-finite value at {at}")
+            }
+            OptimError::DimensionMismatch { what, left, right } => {
+                write!(f, "dimension mismatch: {what} ({left} vs {right})")
+            }
+            OptimError::RankDeficient => write!(f, "design matrix is rank deficient"),
+            OptimError::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: needed {needed}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptimError::InvalidConfig {
+            what: "lr",
+            value: -1.0
+        }
+        .to_string()
+        .contains("lr"));
+        assert!(OptimError::NonFiniteObjective { at: "x=3".into() }
+            .to_string()
+            .contains("x=3"));
+        assert!(OptimError::DimensionMismatch {
+            what: "xy",
+            left: 2,
+            right: 3
+        }
+        .to_string()
+        .contains("2 vs 3"));
+        assert!(OptimError::RankDeficient.to_string().contains("rank"));
+        assert!(OptimError::NotEnoughData { needed: 3, got: 1 }
+            .to_string()
+            .contains("needed 3"));
+    }
+}

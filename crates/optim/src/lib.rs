@@ -1,0 +1,49 @@
+//! # c4u-optim
+//!
+//! Numerical optimisation substrate for the C4U (cross-domain-aware worker selection
+//! with training) workspace.
+//!
+//! Three estimation problems in the paper need an optimiser:
+//!
+//! 1. the Maximum Likelihood Estimation of the cross-domain mean vector and
+//!    covariance matrix (Eq. 5–7), solved by [`GradientDescent`] over
+//!    [`gradient`]-computed numerical gradients;
+//! 2. the per-worker learning-parameter fit of the Learning Gain Estimation
+//!    (Eq. 11), a one-dimensional least-squares problem solved by
+//!    [`minimize_scalar`] (golden-section search plus Newton polish);
+//! 3. the Li et al. baseline, plain multiple linear regression on historical
+//!    profiles, provided by [`LinearRegression`].
+//!
+//! ## Example
+//!
+//! ```
+//! use c4u_optim::{minimize_scalar, GradientDescent, GradientDescentConfig};
+//!
+//! // Fit a scalar by least squares.
+//! let m = minimize_scalar(|a| (a - 1.5f64).powi(2), -10.0, 10.0, 1e-9).unwrap();
+//! assert!((m.x - 1.5).abs() < 1e-6);
+//!
+//! // Minimise a 2-d bowl with gradient descent.
+//! let gd = GradientDescent::new(GradientDescentConfig {
+//!     learning_rate: 0.1,
+//!     epochs: 200,
+//!     ..Default::default()
+//! }).unwrap();
+//! let result = gd.minimize(|v| v[0] * v[0] + (v[1] - 2.0) * (v[1] - 2.0), &[5.0, 5.0]).unwrap();
+//! assert!(result.objective < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod gd;
+mod gradient;
+mod ols;
+mod scalar;
+
+pub use error::OptimError;
+pub use gd::{GradientDescent, GradientDescentConfig, GradientDescentResult};
+pub use gradient::{derivative, gradient, gradient_with_step, second_derivative};
+pub use ols::LinearRegression;
+pub use scalar::{golden_section_minimize, minimize_scalar, newton_polish, ScalarMinimum};

@@ -1,0 +1,251 @@
+//! Ordinary least squares (multiple linear regression).
+//!
+//! The Li et al. baseline of the paper (Sec. V-B) "adopts linear regression on the
+//! multiple features of workers and then selects workers based on the regressed
+//! values", with the historical per-domain accuracies as features. This module
+//! implements that regression: an intercept plus one coefficient per feature, fitted
+//! by solving the normal equations with a ridge fallback when the design matrix is
+//! (near-)rank-deficient — which happens routinely when every recruited worker has a
+//! similar profile.
+
+use crate::error::OptimError;
+use c4u_linalg::{Lu, Matrix, Vector};
+
+/// A fitted ordinary-least-squares model `y ≈ intercept + x · coefficients`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    r_squared: f64,
+}
+
+impl LinearRegression {
+    /// Fits a linear model to `(features, targets)` pairs.
+    ///
+    /// * `features` — one row per observation, all rows the same length;
+    /// * `targets` — one response per observation.
+    ///
+    /// A tiny ridge penalty (`1e-8` on the diagonal of the Gram matrix) is added
+    /// automatically if the plain normal equations are singular.
+    pub fn fit(features: &[Vec<f64>], targets: &[f64]) -> Result<Self, OptimError> {
+        if features.len() != targets.len() {
+            return Err(OptimError::DimensionMismatch {
+                what: "features and targets must have the same number of rows",
+                left: features.len(),
+                right: targets.len(),
+            });
+        }
+        let n = features.len();
+        if n == 0 {
+            return Err(OptimError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let p = features[0].len();
+        if features.iter().any(|row| row.len() != p) {
+            return Err(OptimError::DimensionMismatch {
+                what: "all feature rows must have the same length",
+                left: p,
+                right: features
+                    .iter()
+                    .map(|r| r.len())
+                    .find(|&l| l != p)
+                    .unwrap_or(p),
+            });
+        }
+        if n < p + 1 {
+            // Not strictly required thanks to the ridge fallback, but fitting more
+            // parameters than observations is a caller bug in this workspace.
+            return Err(OptimError::NotEnoughData {
+                needed: p + 1,
+                got: n,
+            });
+        }
+
+        // Design matrix with a leading intercept column.
+        let x = Matrix::from_fn(n, p + 1, |i, j| if j == 0 { 1.0 } else { features[i][j - 1] });
+        let y = Vector::from_slice(targets);
+        let xt = x.transpose();
+        let gram = xt.matmul(&x).map_err(to_optim)?;
+        let rhs = xt.matvec(&y).map_err(to_optim)?;
+
+        let beta = match Lu::new(&gram).and_then(|lu| lu.solve(&rhs)) {
+            Ok(beta) => beta,
+            Err(_) => {
+                // Ridge fallback for rank-deficient designs.
+                let ridged = gram.add_diagonal(1e-8).map_err(to_optim)?;
+                Lu::new(&ridged)
+                    .and_then(|lu| lu.solve(&rhs))
+                    .map_err(|_| OptimError::RankDeficient)?
+            }
+        };
+
+        let intercept = beta[0];
+        let coefficients: Vec<f64> = (1..=p).map(|j| beta[j]).collect();
+
+        // R^2 on the training data.
+        let mean_y = targets.iter().sum::<f64>() / n as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (row, &t) in features.iter().zip(targets.iter()) {
+            let pred = intercept
+                + row
+                    .iter()
+                    .zip(coefficients.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>();
+            ss_res += (t - pred) * (t - pred);
+            ss_tot += (t - mean_y) * (t - mean_y);
+        }
+        let r_squared = if ss_tot <= 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+
+        Ok(Self {
+            intercept,
+            coefficients,
+            r_squared,
+        })
+    }
+
+    /// Intercept term.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Feature coefficients (one per feature column, in order).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Coefficient of determination on the training data.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Predicts the response for one feature row.
+    ///
+    /// Rows shorter than the fitted coefficient vector are treated as having zeros in
+    /// the missing positions (this is how workers lacking some prior-domain history
+    /// are scored by the Li et al. baseline); longer rows are an error.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, OptimError> {
+        if features.len() > self.coefficients.len() {
+            return Err(OptimError::DimensionMismatch {
+                what: "feature row longer than fitted coefficients",
+                left: features.len(),
+                right: self.coefficients.len(),
+            });
+        }
+        Ok(self.intercept
+            + features
+                .iter()
+                .zip(self.coefficients.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>())
+    }
+}
+
+fn to_optim(e: c4u_linalg::LinalgError) -> OptimError {
+    match e {
+        c4u_linalg::LinalgError::Singular { .. } => OptimError::RankDeficient,
+        _ => OptimError::InvalidConfig {
+            what: "linear algebra failure in OLS",
+            value: f64::NAN,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_relationship_is_recovered() {
+        // y = 2 + 3a - b
+        let features = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 5.0],
+            vec![-1.0, 2.0],
+        ];
+        let targets: Vec<f64> = features.iter().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!((model.intercept() - 2.0).abs() < 1e-8);
+        assert!((model.coefficients()[0] - 3.0).abs() < 1e-8);
+        assert!((model.coefficients()[1] + 1.0).abs() < 1e-8);
+        assert!((model.r_squared() - 1.0).abs() < 1e-9);
+        assert!((model.predict(&[4.0, 4.0]).unwrap() - (2.0 + 12.0 - 4.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r_squared() {
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0]).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 1.0 + 0.5 * r[0] + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!((model.coefficients()[0] - 0.5).abs() < 0.05);
+        assert!(model.r_squared() > 0.95);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(LinearRegression::fit(&[], &[]).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        // More parameters than observations.
+        assert!(LinearRegression::fit(&[vec![1.0, 2.0, 3.0]], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn collinear_features_fall_back_to_ridge() {
+        // Second column is exactly twice the first: the Gram matrix is singular.
+        let features = vec![
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 8.0],
+        ];
+        let targets = vec![1.0, 2.0, 3.0, 4.0];
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        // Predictions should still be accurate even though individual coefficients
+        // are not identifiable.
+        for (row, &t) in features.iter().zip(targets.iter()) {
+            assert!((model.predict(row).unwrap() - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_full_r_squared() {
+        let features = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let targets = vec![5.0, 5.0, 5.0];
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!((model.predict(&[10.0]).unwrap() - 5.0).abs() < 1e-6);
+        assert_eq!(model.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn short_feature_rows_are_padded_with_zeros() {
+        let features = vec![vec![1.0, 1.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![1.0, 3.0]];
+        let targets = vec![2.0, 2.0, 2.0, 4.0];
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        // Missing second feature treated as zero.
+        let full = model.predict(&[1.0, 0.0]).unwrap();
+        let short = model.predict(&[1.0]).unwrap();
+        assert!((full - short).abs() < 1e-12);
+        assert!(model.predict(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn intercept_only_model() {
+        let features = vec![vec![], vec![], vec![]];
+        let targets = vec![1.0, 2.0, 3.0];
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!((model.intercept() - 2.0).abs() < 1e-9);
+        assert!((model.predict(&[]).unwrap() - 2.0).abs() < 1e-9);
+    }
+}

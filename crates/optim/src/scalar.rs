@@ -1,0 +1,223 @@
+//! One-dimensional minimisation: golden-section search with optional Newton polish.
+//!
+//! The Learning Gain Estimation step (Eq. 11 of the paper) fits a single scalar
+//! learning parameter `alpha_i` per worker by least squares. The objective is smooth
+//! and unimodal over the relevant range, so a bracketed golden-section search
+//! followed by a few safeguarded Newton steps gives machine-precision minima at
+//! negligible cost (the regression is re-run for every remaining worker in every
+//! elimination round).
+
+use crate::error::OptimError;
+use crate::gradient::{derivative, second_derivative};
+
+/// Result of a scalar minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarMinimum {
+    /// Location of the minimum found.
+    pub x: f64,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// Minimises `f` over the bracket `[lo, hi]` by golden-section search.
+///
+/// `tol` is the absolute width at which the bracket search stops; the returned point
+/// is the best of the final bracket endpoints and interior probes.
+pub fn golden_section_minimize(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<ScalarMinimum, OptimError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(OptimError::InvalidConfig {
+            what: "golden-section bracket must be finite with lo < hi",
+            value: hi - lo,
+        });
+    }
+    if !(tol > 0.0) {
+        return Err(OptimError::InvalidConfig {
+            what: "golden-section tolerance must be > 0",
+            value: tol,
+        });
+    }
+    let inv_phi: f64 = (5.0_f64.sqrt() - 1.0) / 2.0; // 1/φ ≈ 0.618
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    let mut evaluations = 2;
+    if !fc.is_finite() || !fd.is_finite() {
+        return Err(OptimError::NonFiniteObjective {
+            at: format!("golden-section probes {c} / {d}"),
+        });
+    }
+
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+        evaluations += 1;
+        if evaluations > 10_000 {
+            break;
+        }
+    }
+
+    let candidates = [(a, f(a)), (b, f(b)), (c, fc), (d, fd)];
+    evaluations += 2;
+    let best = candidates
+        .iter()
+        .filter(|(_, v)| v.is_finite())
+        .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal))
+        .copied()
+        .ok_or_else(|| OptimError::NonFiniteObjective {
+            at: "golden-section final bracket".to_string(),
+        })?;
+    Ok(ScalarMinimum {
+        x: best.0,
+        value: best.1,
+        evaluations,
+    })
+}
+
+/// Polishes a minimum candidate with safeguarded Newton steps on the derivative.
+///
+/// Steps are taken only while they stay inside `[lo, hi]` and actually reduce the
+/// objective, so a poor curvature estimate can never make the result worse than the
+/// input candidate.
+pub fn newton_polish(
+    f: impl Fn(f64) -> f64,
+    mut x: f64,
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+) -> ScalarMinimum {
+    let mut value = f(x);
+    let mut evaluations = 1;
+    for _ in 0..iterations {
+        let d1 = derivative(&f, x);
+        let d2 = second_derivative(&f, x);
+        evaluations += 5;
+        if !d1.is_finite() || !d2.is_finite() || d2.abs() < 1e-18 {
+            break;
+        }
+        let candidate = (x - d1 / d2).clamp(lo, hi);
+        let candidate_value = f(candidate);
+        evaluations += 1;
+        if candidate_value.is_finite() && candidate_value < value {
+            x = candidate;
+            value = candidate_value;
+        } else {
+            break;
+        }
+    }
+    ScalarMinimum {
+        x,
+        value,
+        evaluations,
+    }
+}
+
+/// Convenience wrapper: golden-section search followed by Newton polish.
+pub fn minimize_scalar(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<ScalarMinimum, OptimError> {
+    let coarse = golden_section_minimize(&f, lo, hi, tol)?;
+    let polished = newton_polish(&f, coarse.x, lo, hi, 8);
+    Ok(ScalarMinimum {
+        x: polished.x,
+        value: polished.value,
+        evaluations: coarse.evaluations + polished.evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum() {
+        let m = golden_section_minimize(|x| (x - 2.5).powi(2) + 1.0, 0.0, 10.0, 1e-8).unwrap();
+        assert!((m.x - 2.5).abs() < 1e-6);
+        assert!((m.value - 1.0).abs() < 1e-10);
+        assert!(m.evaluations > 2);
+    }
+
+    #[test]
+    fn golden_section_validation() {
+        assert!(golden_section_minimize(|x| x, 1.0, 0.0, 1e-6).is_err());
+        assert!(golden_section_minimize(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(golden_section_minimize(|x| x, f64::NEG_INFINITY, 1.0, 1e-6).is_err());
+        assert!(golden_section_minimize(|_| f64::NAN, 0.0, 1.0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn golden_section_handles_boundary_minimum() {
+        // Monotone increasing: minimum at the left edge.
+        let m = golden_section_minimize(|x| x, 0.0, 5.0, 1e-8).unwrap();
+        assert!(m.x < 1e-6);
+        // Monotone decreasing: minimum at the right edge.
+        let m = golden_section_minimize(|x| -x, 0.0, 5.0, 1e-8).unwrap();
+        assert!((m.x - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn newton_polish_improves_precision() {
+        let f = |x: f64| (x - 1.234_567).powi(2);
+        let coarse = golden_section_minimize(&f, 0.0, 3.0, 1e-2).unwrap();
+        let polished = newton_polish(&f, coarse.x, 0.0, 3.0, 10);
+        assert!((polished.x - 1.234_567).abs() < 1e-7);
+        assert!(polished.value <= coarse.value + 1e-15);
+    }
+
+    #[test]
+    fn newton_polish_never_worsens() {
+        // A nasty non-smooth objective: polish should return something at least as
+        // good as the starting point.
+        let f = |x: f64| x.abs().sqrt();
+        let start = 0.3;
+        let polished = newton_polish(f, start, -1.0, 1.0, 10);
+        assert!(polished.value <= f(start) + 1e-15);
+        assert!((-1.0..=1.0).contains(&polished.x));
+    }
+
+    #[test]
+    fn minimize_scalar_on_quartic() {
+        // f(x) = (x^2 - 1)^2 has minima at ±1; restricted to [0, 3] the minimum is 1.
+        let m = minimize_scalar(|x| (x * x - 1.0).powi(2), 0.0, 3.0, 1e-6).unwrap();
+        assert!((m.x - 1.0).abs() < 1e-5);
+        assert!(m.value < 1e-9);
+    }
+
+    #[test]
+    fn minimize_scalar_on_irt_style_objective() {
+        // Shape of the Eq. 11 objective: fit alpha so that sigmoid(alpha*ln(K+1))
+        // matches a target accuracy.
+        let k = 20.0_f64;
+        let target = 0.8;
+        let f = |alpha: f64| {
+            let p = 1.0 / (1.0 + (-(alpha * (k + 1.0_f64).ln())).exp());
+            (p - target).powi(2)
+        };
+        let m = minimize_scalar(f, -5.0, 5.0, 1e-8).unwrap();
+        let expected = (target / (1.0 - target) as f64).ln() / (k + 1.0_f64).ln();
+        assert!((m.x - expected).abs() < 1e-4, "got {} want {}", m.x, expected);
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain Median Elimination (ME) baseline.
+//!
+//! The same budgeted elimination schedule as the full method — `n` rounds, the worst
+//! half eliminated each round — but ranked purely by the observed accuracy on the
+//! round's golden questions, with no cross-domain information and no learning-gain
+//! modelling. This is the "ME" column of Table V and the backbone the paper's
+//! ablation compares against.
+
+use crate::budget::BudgetPlan;
+use crate::me::{median_eliminate, top_k, ScoredWorker};
+use crate::selector::{SelectionOutcome, WorkerSelector};
+use crate::SelectionError;
+use c4u_crowd_sim::{Platform, WorkerId};
+
+/// The plain Median Elimination baseline.
+#[derive(Debug, Clone, Default)]
+pub struct MedianEliminationBaseline;
+
+impl MedianEliminationBaseline {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl WorkerSelector for MedianEliminationBaseline {
+    fn name(&self) -> &str {
+        "ME"
+    }
+
+    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+        let pool: Vec<WorkerId> = platform.worker_ids();
+        if pool.is_empty() {
+            return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if k == 0 || k > pool.len() {
+            return Err(SelectionError::InvalidConfig {
+                what: "k must lie in [1, pool_size]",
+                value: k as f64,
+            });
+        }
+        let plan = BudgetPlan::new(pool.len(), k, platform.budget_total())?;
+        let mut remaining = pool;
+        let mut last_scores: Vec<ScoredWorker> = Vec::new();
+        let mut previous_scores: Vec<ScoredWorker> = Vec::new();
+
+        for _round in 1..=plan.rounds {
+            let tasks_per_worker = plan.tasks_per_worker(remaining.len());
+            let record = platform.assign_learning_batch(&remaining, tasks_per_worker)?;
+            let scored: Vec<ScoredWorker> = record
+                .sheets
+                .iter()
+                .map(|s| ScoredWorker::new(s.worker, s.accuracy()))
+                .collect();
+            previous_scores = last_scores;
+            last_scores = scored.clone();
+            remaining = median_eliminate(&scored);
+        }
+
+        let surviving: Vec<ScoredWorker> = last_scores
+            .iter()
+            .filter(|s| remaining.contains(&s.worker))
+            .copied()
+            .collect();
+        let selected = if remaining.len() >= k {
+            top_k(&surviving, k)
+        } else if !previous_scores.is_empty() {
+            top_k(&previous_scores, k)
+        } else {
+            top_k(&last_scores, k)
+        };
+        let scores = selected
+            .iter()
+            .map(|w| {
+                last_scores
+                    .iter()
+                    .chain(previous_scores.iter())
+                    .find(|s| s.worker == *w)
+                    .map(|s| s.score)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        Ok(
+            SelectionOutcome::new(selected, plan.rounds, platform.budget_spent())
+                .with_scores(scores),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4u_crowd_sim::{generate, DatasetConfig};
+
+    #[test]
+    fn runs_the_halving_schedule_within_budget() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 5).unwrap();
+        let outcome = MedianEliminationBaseline::new()
+            .select(&mut platform, 7)
+            .unwrap();
+        assert_eq!(outcome.selected.len(), 7);
+        assert_eq!(outcome.rounds, 2);
+        assert!(outcome.budget_spent <= platform.budget_total());
+        // Two rounds were recorded on the platform.
+        assert_eq!(platform.rounds_run(), 2);
+        // Second round trained only the surviving half.
+        assert_eq!(platform.history()[0].sheets.len(), 27);
+        assert_eq!(platform.history()[1].sheets.len(), 14);
+    }
+
+    #[test]
+    fn later_rounds_assign_more_tasks_per_worker() {
+        let ds = generate(&DatasetConfig::s1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 5).unwrap();
+        MedianEliminationBaseline::new()
+            .select(&mut platform, 5)
+            .unwrap();
+        let history = platform.history();
+        assert_eq!(history.len(), 3);
+        assert!(history[1].tasks_per_worker > history[0].tasks_per_worker);
+        assert!(history[2].tasks_per_worker > history[1].tasks_per_worker);
+    }
+
+    #[test]
+    fn selects_workers_that_answered_well() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 5).unwrap();
+        let outcome = MedianEliminationBaseline::new()
+            .select(&mut platform, 7)
+            .unwrap();
+        let truths = platform.true_accuracies();
+        let selected_mean = c4u_stats::mean(
+            &outcome.selected.iter().map(|&w| truths[w]).collect::<Vec<_>>(),
+        );
+        let pool_mean = c4u_stats::mean(&truths);
+        assert!(selected_mean > pool_mean);
+    }
+
+    #[test]
+    fn validation_and_name() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 5).unwrap();
+        assert!(MedianEliminationBaseline::new()
+            .select(&mut platform, 0)
+            .is_err());
+        assert_eq!(MedianEliminationBaseline::new().name(), "ME");
+    }
+}

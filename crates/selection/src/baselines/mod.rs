@@ -1,0 +1,22 @@
+//! Baseline worker-selection strategies (Sec. V-B of the paper).
+//!
+//! * [`UniformSampling`] — spend the budget evenly over all workers, select the
+//!   top-`k` by observed accuracy ([Even-Dar et al.; Cao et al.]).
+//! * [`MedianEliminationBaseline`] — the plain median-elimination schedule ranked by
+//!   observed per-round accuracy (the backbone of the paper's method, with the
+//!   worker-quality estimation removed).
+//! * [`LiEtAl`] — linear regression from the historical profile features to the
+//!   observed target-domain accuracy, selection by regressed value.
+//! * [`GroundTruthOracle`] — an oracle that ranks workers by their true (latent)
+//!   accuracy; the "Ground Truth" row of Table V and an upper bound for every
+//!   budget-constrained strategy.
+
+mod li;
+mod median;
+mod oracle;
+mod uniform;
+
+pub use li::LiEtAl;
+pub use median::MedianEliminationBaseline;
+pub use oracle::GroundTruthOracle;
+pub use uniform::UniformSampling;

@@ -1,0 +1,209 @@
+//! Evaluation harness: run strategies on identical datasets and score the selected
+//! workers on the working tasks.
+//!
+//! The paper's evaluation protocol (Sec. V-C) allocates the same budget to every
+//! method and reports the average annotation accuracy of the selected workers on the
+//! target-domain *working* tasks after the final round. To make the comparison fair
+//! despite the stochastic workers, every strategy here is run on its own fresh
+//! [`Platform`] instantiated from the *same* dataset with the *same* answering-noise
+//! seed, so differences in the outcome are attributable to the selection decisions
+//! alone. Results can additionally be averaged over several trial seeds.
+
+use crate::selector::WorkerSelector;
+use crate::SelectionError;
+use c4u_crowd_sim::{Dataset, Platform, WorkerId};
+
+/// The evaluation of one strategy on one dataset (one trial).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Workers the strategy selected.
+    pub selected: Vec<WorkerId>,
+    /// Average observed accuracy of the selected workers on the working tasks.
+    pub working_accuracy: f64,
+    /// Average true (latent) accuracy of the selected workers after training.
+    pub expected_accuracy: f64,
+    /// Learning tasks the strategy consumed.
+    pub budget_spent: usize,
+    /// Training rounds the strategy ran.
+    pub rounds: usize,
+}
+
+/// The evaluation of one strategy averaged over several trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Mean working-task accuracy across trials.
+    pub mean_accuracy: f64,
+    /// Standard deviation of the working-task accuracy across trials.
+    pub std_accuracy: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// Runs one strategy on one dataset with one answering-noise seed.
+pub fn evaluate_strategy(
+    dataset: &Dataset,
+    strategy: &dyn WorkerSelector,
+    seed: u64,
+) -> Result<EvaluationResult, SelectionError> {
+    let mut platform = Platform::from_dataset(dataset, seed)?;
+    let outcome = strategy.select(&mut platform, dataset.config.select_k)?;
+    let working_accuracy = platform.evaluate_working_accuracy(&outcome.selected)?;
+    let expected_accuracy = platform.expected_working_accuracy(&outcome.selected)?;
+    Ok(EvaluationResult {
+        strategy: strategy.name().to_string(),
+        dataset: dataset.config.name.clone(),
+        selected: outcome.selected,
+        working_accuracy,
+        expected_accuracy,
+        budget_spent: outcome.budget_spent,
+        rounds: outcome.rounds,
+    })
+}
+
+/// Runs one strategy with a custom `k` (used by the Figure 6 sensitivity sweep).
+pub fn evaluate_strategy_with_k(
+    dataset: &Dataset,
+    strategy: &dyn WorkerSelector,
+    k: usize,
+    seed: u64,
+) -> Result<EvaluationResult, SelectionError> {
+    let mut platform = Platform::from_dataset(dataset, seed)?;
+    let outcome = strategy.select(&mut platform, k)?;
+    let working_accuracy = platform.evaluate_working_accuracy(&outcome.selected)?;
+    let expected_accuracy = platform.expected_working_accuracy(&outcome.selected)?;
+    Ok(EvaluationResult {
+        strategy: strategy.name().to_string(),
+        dataset: dataset.config.name.clone(),
+        selected: outcome.selected,
+        working_accuracy,
+        expected_accuracy,
+        budget_spent: outcome.budget_spent,
+        rounds: outcome.rounds,
+    })
+}
+
+/// Runs one strategy over several answering-noise seeds and aggregates the results.
+pub fn evaluate_over_trials(
+    dataset: &Dataset,
+    strategy: &dyn WorkerSelector,
+    seeds: &[u64],
+) -> Result<AggregatedResult, SelectionError> {
+    if seeds.is_empty() {
+        return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
+    }
+    let mut accuracies = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        accuracies.push(evaluate_strategy(dataset, strategy, seed)?.working_accuracy);
+    }
+    Ok(AggregatedResult {
+        strategy: strategy.name().to_string(),
+        dataset: dataset.config.name.clone(),
+        mean_accuracy: c4u_stats::mean(&accuracies),
+        std_accuracy: c4u_stats::std_dev(&accuracies),
+        trials: seeds.len(),
+    })
+}
+
+/// Runs a set of strategies on the same dataset and seed (one Table V column).
+pub fn evaluate_all(
+    dataset: &Dataset,
+    strategies: &[&dyn WorkerSelector],
+    seed: u64,
+) -> Result<Vec<EvaluationResult>, SelectionError> {
+    strategies
+        .iter()
+        .map(|s| evaluate_strategy(dataset, *s, seed))
+        .collect()
+}
+
+/// Relative improvement of `ours` over `baseline`, in percent — the parenthesised
+/// uplift figures of Table V.
+pub fn relative_improvement(ours: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    (ours - baseline) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{GroundTruthOracle, UniformSampling};
+    use crate::framework::{CrossDomainSelector, SelectorConfig};
+    use c4u_crowd_sim::{generate, DatasetConfig};
+
+    fn fast_ours() -> CrossDomainSelector {
+        let mut config = SelectorConfig::default();
+        config.cpe.epochs = 5;
+        CrossDomainSelector::new(config)
+    }
+
+    #[test]
+    fn evaluation_produces_sensible_numbers() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let result = evaluate_strategy(&ds, &UniformSampling::new(), 3).unwrap();
+        assert_eq!(result.strategy, "US");
+        assert_eq!(result.dataset, "RW-1");
+        assert_eq!(result.selected.len(), 7);
+        assert!((0.0..=1.0).contains(&result.working_accuracy));
+        assert!((0.0..=1.0).contains(&result.expected_accuracy));
+        assert!(result.budget_spent <= ds.config.budget());
+    }
+
+    #[test]
+    fn oracle_upper_bounds_uniform_sampling_on_expected_accuracy() {
+        let ds = generate(&DatasetConfig::s1()).unwrap();
+        let gt = evaluate_strategy(&ds, &GroundTruthOracle::new(), 3).unwrap();
+        let us = evaluate_strategy(&ds, &UniformSampling::new(), 3).unwrap();
+        assert!(
+            gt.expected_accuracy >= us.expected_accuracy - 1e-9,
+            "oracle {} should not lose to US {}",
+            gt.expected_accuracy,
+            us.expected_accuracy
+        );
+    }
+
+    #[test]
+    fn evaluate_all_runs_every_strategy_once() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let ours = fast_ours();
+        let us = UniformSampling::new();
+        let strategies: Vec<&dyn WorkerSelector> = vec![&us, &ours];
+        let results = evaluate_all(&ds, &strategies, 5).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].strategy, "US");
+        assert_eq!(results[1].strategy, "Ours");
+    }
+
+    #[test]
+    fn trials_aggregate_mean_and_std() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let agg = evaluate_over_trials(&ds, &UniformSampling::new(), &[1, 2, 3]).unwrap();
+        assert_eq!(agg.trials, 3);
+        assert!((0.0..=1.0).contains(&agg.mean_accuracy));
+        assert!(agg.std_accuracy >= 0.0);
+        assert!(evaluate_over_trials(&ds, &UniformSampling::new(), &[]).is_err());
+    }
+
+    #[test]
+    fn custom_k_changes_the_selection_size() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let result = evaluate_strategy_with_k(&ds, &UniformSampling::new(), 14, 3).unwrap();
+        assert_eq!(result.selected.len(), 14);
+    }
+
+    #[test]
+    fn relative_improvement_formula() {
+        assert!((relative_improvement(0.798, 0.764) - 4.45).abs() < 0.1);
+        assert_eq!(relative_improvement(0.5, 0.0), 0.0);
+        assert!(relative_improvement(0.7, 0.8) < 0.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! The full cross-domain-aware worker selection with training pipeline
+//! (Algorithm 4 of the paper), plus its ME-CPE ablation.
+//!
+//! Per elimination round the pipeline:
+//!
+//! 1. assigns `floor(t / |W_c|)` golden questions to every remaining worker and
+//!    reveals the ground truth (worker training, Sec. IV-B);
+//! 2. updates the cross-domain model and produces the static estimate `p_{c,i}`
+//!    (CPE, Algorithm 1);
+//! 3. fits each worker's learning parameter and produces the dynamic estimate
+//!    `p_hat_{c,i,T}` (LGE, Algorithm 2) — skipped in the ME-CPE ablation;
+//! 4. keeps the best half of the workers (ME, Algorithm 3) and halves `delta`.
+//!
+//! After `n = ceil(log2(|W| / k))` rounds the top `k` workers by the final estimate
+//! are returned (falling back to the previous round's estimates if fewer than `k`
+//! workers survived, per Algorithm 4 line 17).
+
+use crate::budget::BudgetPlan;
+use crate::cpe::{CpeConfig, CpeObservation, CrossDomainEstimator};
+use crate::lge::{LearningGainEstimator, LgeConfig, LgeWorkerInput};
+use crate::me::{median_eliminate, top_k, ScoredWorker};
+use crate::selector::{SelectionOutcome, WorkerSelector};
+use crate::SelectionError;
+use c4u_crowd_sim::{Platform, WorkerId};
+use std::collections::HashMap;
+
+/// Which estimation components the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimationMode {
+    /// CPE + LGE (the full method, "Ours" in the paper's tables).
+    CpeAndLge,
+    /// CPE only (the "ME-CPE" ablation row).
+    CpeOnly,
+}
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectorConfig {
+    /// CPE configuration (learning rates, epochs, `a_T`, ...).
+    pub cpe: CpeConfig,
+    /// Initial failure probability `delta` of the elimination guarantee.
+    pub delta: f64,
+    /// Which estimation components to run.
+    pub mode: EstimationMode,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        Self {
+            cpe: CpeConfig::default(),
+            delta: 0.1,
+            mode: EstimationMode::CpeAndLge,
+        }
+    }
+}
+
+impl SelectorConfig {
+    /// Sets the initial target-domain accuracy `a_T` (used by both CPE and LGE).
+    pub fn with_initial_target_accuracy(mut self, a_t: f64) -> Self {
+        self.cpe.initial_target_accuracy = a_t;
+        self
+    }
+
+    /// Switches the pipeline into the ME-CPE ablation (no LGE).
+    pub fn cpe_only(mut self) -> Self {
+        self.mode = EstimationMode::CpeOnly;
+        self
+    }
+}
+
+/// Per-round diagnostics of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundDiagnostics {
+    /// 1-based round index.
+    pub round: usize,
+    /// Workers that entered the round.
+    pub entered: Vec<WorkerId>,
+    /// Workers that survived the round.
+    pub survived: Vec<WorkerId>,
+    /// Tasks assigned to each worker in the round.
+    pub tasks_per_worker: usize,
+    /// Static CPE estimate per entered worker (aligned with `entered`).
+    pub static_estimates: Vec<f64>,
+    /// Dynamic LGE estimate per entered worker (aligned with `entered`; equal to the
+    /// static estimates in the ME-CPE ablation).
+    pub dynamic_estimates: Vec<f64>,
+    /// Failure probability `delta_c` of the round.
+    pub delta: f64,
+}
+
+/// Result of a full pipeline run, including diagnostics used by the benchmark
+/// harness (estimated correlations, per-round estimates).
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The selection outcome (selected workers, rounds, budget).
+    pub outcome: SelectionOutcome,
+    /// Per-round diagnostics.
+    pub rounds: Vec<RoundDiagnostics>,
+    /// Estimated correlation between each prior domain and the target domain at the
+    /// end of the run (the Sec. V-H numbers).
+    pub target_correlations: Vec<f64>,
+}
+
+/// The cross-domain-aware worker selector with training.
+#[derive(Debug, Clone)]
+pub struct CrossDomainSelector {
+    config: SelectorConfig,
+    name: String,
+}
+
+impl CrossDomainSelector {
+    /// Creates the full method ("Ours").
+    pub fn new(config: SelectorConfig) -> Self {
+        let name = match config.mode {
+            EstimationMode::CpeAndLge => "Ours",
+            EstimationMode::CpeOnly => "ME-CPE",
+        };
+        Self {
+            config,
+            name: name.to_string(),
+        }
+    }
+
+    /// Creates the full method with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(SelectorConfig::default())
+    }
+
+    /// Creates the ME-CPE ablation with default configuration.
+    pub fn cpe_only() -> Self {
+        Self::new(SelectorConfig::default().cpe_only())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SelectorConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline and returns the full report (outcome + diagnostics).
+    pub fn run(&self, platform: &mut Platform, k: usize) -> Result<PipelineReport, SelectionError> {
+        let pool: Vec<WorkerId> = platform.worker_ids();
+        if pool.is_empty() {
+            return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if k == 0 || k > pool.len() {
+            return Err(SelectionError::InvalidConfig {
+                what: "k must lie in [1, pool_size]",
+                value: k as f64,
+            });
+        }
+        let plan = BudgetPlan::new(pool.len(), k, platform.budget_total())?;
+
+        // Initialise CPE from the historical profiles (Sec. V-C initialisation).
+        let profiles = platform.profiles();
+        let mut cpe = CrossDomainEstimator::from_profiles(&profiles, self.config.cpe)?;
+
+        // Per-prior-domain average accuracy for the LGE difficulty initialisation.
+        let d = cpe.num_prior_domains();
+        let prior_means: Vec<f64> = (0..d)
+            .map(|domain| {
+                let values: Vec<f64> = profiles.iter().filter_map(|p| p.accuracy(domain)).collect();
+                if values.is_empty() {
+                    self.config.cpe.initial_target_accuracy
+                } else {
+                    c4u_stats::mean(&values).clamp(0.05, 0.95)
+                }
+            })
+            .collect();
+        let lge = LearningGainEstimator::new(LgeConfig::new(
+            self.config.cpe.initial_target_accuracy,
+            prior_means,
+        )?);
+
+        let mut remaining = pool.clone();
+        let mut delta = self.config.delta;
+        let mut diagnostics = Vec::new();
+        // CPE estimate history per worker (p_{1,i}, ..., p_{c,i}).
+        let mut estimate_history: HashMap<WorkerId, Vec<f64>> = HashMap::new();
+        let mut final_scores: Vec<ScoredWorker> = Vec::new();
+        let mut previous_scores: Vec<ScoredWorker> = Vec::new();
+
+        for round in 1..=plan.rounds {
+            let tasks_per_worker = plan.tasks_per_worker(remaining.len());
+            let record = platform.assign_learning_batch(&remaining, tasks_per_worker)?;
+
+            // --- CPE (Algorithm 1) ---
+            let observations: Vec<CpeObservation> = record
+                .sheets
+                .iter()
+                .map(|sheet| {
+                    let profile = platform.profile(sheet.worker)?;
+                    Ok(CpeObservation::from_profile(
+                        profile,
+                        sheet.correct(),
+                        sheet.wrong(),
+                    ))
+                })
+                .collect::<Result<_, SelectionError>>()?;
+            cpe.update(&observations)?;
+            let static_estimates = cpe.predict_batch(&observations)?;
+            for (sheet, &p) in record.sheets.iter().zip(static_estimates.iter()) {
+                estimate_history.entry(sheet.worker).or_default().push(p);
+            }
+
+            // --- LGE (Algorithm 2) ---
+            let dynamic_estimates = match self.config.mode {
+                EstimationMode::CpeOnly => static_estimates.clone(),
+                EstimationMode::CpeAndLge => {
+                    let mut estimates = Vec::with_capacity(remaining.len());
+                    for (sheet, &static_estimate) in
+                        record.sheets.iter().zip(static_estimates.iter())
+                    {
+                        let profile = platform.profile(sheet.worker)?;
+                        let history = estimate_history
+                            .get(&sheet.worker)
+                            .cloned()
+                            .unwrap_or_default();
+                        // The CPE estimate of stage j reflects a worker trained with
+                        // only j-1 rounds (Eq. 11), so the stage j estimate pairs with
+                        // K_{j-1}.
+                        let before: Vec<f64> = (0..history.len())
+                            .map(|j| plan.cumulative_tasks_after_round(j))
+                            .collect();
+                        // In the very first round every stage sits at K_0 = 0, where
+                        // the learning-gain curve is independent of alpha: the fitted
+                        // extrapolation would ignore the only target-domain evidence
+                        // available. Rank by the CPE estimate instead (the dynamic
+                        // and static estimates coincide until training has started).
+                        let has_informative_stage = before.iter().any(|&k| k > 0.0);
+                        if !has_informative_stage {
+                            estimates.push(static_estimate);
+                            continue;
+                        }
+                        let input = LgeWorkerInput::from_profile(
+                            profile,
+                            history,
+                            before,
+                            plan.cumulative_tasks_after_round(round),
+                        );
+                        estimates.push(lge.estimate(&input)?.predicted_accuracy);
+                    }
+                    estimates
+                }
+            };
+
+            // --- ME (Algorithm 3) ---
+            let scored: Vec<ScoredWorker> = record
+                .sheets
+                .iter()
+                .zip(dynamic_estimates.iter())
+                .map(|(sheet, &score)| ScoredWorker::new(sheet.worker, score))
+                .collect();
+            let survivors = median_eliminate(&scored);
+
+            diagnostics.push(RoundDiagnostics {
+                round,
+                entered: remaining.clone(),
+                survived: survivors.clone(),
+                tasks_per_worker,
+                static_estimates,
+                dynamic_estimates,
+                delta,
+            });
+
+            previous_scores = final_scores;
+            final_scores = scored;
+            remaining = survivors;
+            delta /= 2.0;
+        }
+
+        // --- Final top-k extraction (Algorithm 4 line 17) ---
+        let surviving_scores: Vec<ScoredWorker> = final_scores
+            .iter()
+            .filter(|s| remaining.contains(&s.worker))
+            .copied()
+            .collect();
+        let selected = if remaining.len() >= k {
+            top_k(&surviving_scores, k)
+        } else {
+            // Fewer than k survivors: fall back to the previous round's scores over
+            // the workers that entered the final round.
+            let fallback: Vec<ScoredWorker> = if previous_scores.is_empty() {
+                final_scores.clone()
+            } else {
+                previous_scores.clone()
+            };
+            top_k(&fallback, k)
+        };
+        let score_lookup: HashMap<WorkerId, f64> = final_scores
+            .iter()
+            .chain(previous_scores.iter())
+            .map(|s| (s.worker, s.score))
+            .collect();
+        let scores: Vec<f64> = selected
+            .iter()
+            .map(|w| score_lookup.get(w).copied().unwrap_or(0.0))
+            .collect();
+
+        let target_correlations = (0..d)
+            .map(|domain| cpe.target_correlation(domain))
+            .collect::<Result<Vec<f64>, SelectionError>>()?;
+
+        Ok(PipelineReport {
+            outcome: SelectionOutcome::new(selected, plan.rounds, platform.budget_spent())
+                .with_scores(scores),
+            rounds: diagnostics,
+            target_correlations,
+        })
+    }
+}
+
+impl WorkerSelector for CrossDomainSelector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+        Ok(self.run(platform, k)?.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4u_crowd_sim::{generate, DatasetConfig};
+
+    fn fast_config() -> SelectorConfig {
+        // Fewer CPE epochs keep the unit tests quick; the benchmark harness uses the
+        // paper defaults.
+        let mut config = SelectorConfig::default();
+        config.cpe.epochs = 5;
+        config
+    }
+
+    fn rw1_platform() -> Platform {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        Platform::from_dataset(&ds, 11).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_selects_k_workers_within_budget() {
+        let mut platform = rw1_platform();
+        let selector = CrossDomainSelector::new(fast_config());
+        assert_eq!(selector.name(), "Ours");
+        let report = selector.run(&mut platform, 7).unwrap();
+        assert_eq!(report.outcome.selected.len(), 7);
+        assert_eq!(report.outcome.rounds, 2);
+        assert!(report.outcome.budget_spent <= platform.budget_total());
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.target_correlations.len(), 3);
+        // Selected workers are distinct.
+        let mut unique = report.outcome.selected.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 7);
+        // Scores align with the selection.
+        assert_eq!(report.outcome.scores.len(), 7);
+    }
+
+    #[test]
+    fn elimination_halves_the_pool_each_round() {
+        let mut platform = rw1_platform();
+        let selector = CrossDomainSelector::new(fast_config());
+        let report = selector.run(&mut platform, 7).unwrap();
+        assert_eq!(report.rounds[0].entered.len(), 27);
+        assert_eq!(report.rounds[0].survived.len(), 14);
+        assert_eq!(report.rounds[1].entered.len(), 14);
+        assert_eq!(report.rounds[1].survived.len(), 7);
+        // Delta halves between rounds.
+        assert!((report.rounds[0].delta - 0.1).abs() < 1e-12);
+        assert!((report.rounds[1].delta - 0.05).abs() < 1e-12);
+        // Estimates are aligned with the entered workers and lie in [0, 1].
+        for d in &report.rounds {
+            assert_eq!(d.static_estimates.len(), d.entered.len());
+            assert_eq!(d.dynamic_estimates.len(), d.entered.len());
+            assert!(d
+                .static_estimates
+                .iter()
+                .chain(d.dynamic_estimates.iter())
+                .all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn cpe_only_ablation_differs_in_name_and_skips_lge() {
+        let mut platform = rw1_platform();
+        let selector = CrossDomainSelector::new(fast_config().cpe_only());
+        assert_eq!(selector.name(), "ME-CPE");
+        let report = selector.run(&mut platform, 7).unwrap();
+        for d in &report.rounds {
+            assert_eq!(d.static_estimates, d.dynamic_estimates);
+        }
+    }
+
+    #[test]
+    fn selection_favours_genuinely_strong_workers() {
+        // With the cross-domain signal present, the selected group should be clearly
+        // better than the pool average in true accuracy.
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 3).unwrap();
+        let selector = CrossDomainSelector::new(fast_config());
+        let report = selector.run(&mut platform, 7).unwrap();
+        let truths = platform.true_accuracies();
+        let pool_mean = c4u_stats::mean(&truths);
+        let selected_mean = c4u_stats::mean(
+            &report
+                .outcome
+                .selected
+                .iter()
+                .map(|&w| truths[w])
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            selected_mean > pool_mean,
+            "selected {selected_mean} should beat pool {pool_mean}"
+        );
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let mut platform = rw1_platform();
+        let selector = CrossDomainSelector::new(fast_config());
+        assert!(selector.run(&mut platform, 0).is_err());
+        assert!(selector.run(&mut platform, 100).is_err());
+    }
+
+    #[test]
+    fn selector_trait_roundtrip() {
+        let mut platform = rw1_platform();
+        let selector: Box<dyn WorkerSelector> = Box::new(CrossDomainSelector::new(fast_config()));
+        let outcome = selector.select(&mut platform, 7).unwrap();
+        assert_eq!(outcome.selected.len(), 7);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SelectorConfig::default().with_initial_target_accuracy(0.3);
+        assert!((c.cpe.initial_target_accuracy - 0.3).abs() < 1e-12);
+        let c = c.cpe_only();
+        assert_eq!(c.mode, EstimationMode::CpeOnly);
+        let s = CrossDomainSelector::with_defaults();
+        assert_eq!(s.name(), "Ours");
+        let s = CrossDomainSelector::cpe_only();
+        assert_eq!(s.name(), "ME-CPE");
+        assert_eq!(s.config().mode, EstimationMode::CpeOnly);
+    }
+}

@@ -1,0 +1,152 @@
+//! Median Elimination (Algorithm 3 of the paper) and top-k extraction.
+//!
+//! Given the predicted accuracy of every remaining worker, one elimination round
+//! sorts the workers in non-increasing order of their prediction and keeps the top
+//! `ceil(|W_c| / 2)`. The same scoring machinery also implements the final top-`k`
+//! extraction of Algorithm 4 line 17.
+
+use c4u_crowd_sim::WorkerId;
+
+/// A worker together with its predicted accuracy for the current round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredWorker {
+    /// Worker identifier.
+    pub worker: WorkerId,
+    /// Predicted target-domain accuracy.
+    pub score: f64,
+}
+
+impl ScoredWorker {
+    /// Convenience constructor.
+    pub fn new(worker: WorkerId, score: f64) -> Self {
+        Self { worker, score }
+    }
+}
+
+/// Sorts workers in non-increasing score order (ties broken by worker id so that the
+/// process is fully deterministic).
+pub fn sort_by_score(scored: &[ScoredWorker]) -> Vec<ScoredWorker> {
+    let mut sorted = scored.to_vec();
+    sorted.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.worker.cmp(&b.worker))
+    });
+    sorted
+}
+
+/// One median-elimination round: keeps the best `ceil(n / 2)` workers
+/// (Algorithm 3, line 2).
+pub fn median_eliminate(scored: &[ScoredWorker]) -> Vec<WorkerId> {
+    let keep = scored.len().div_ceil(2);
+    sort_by_score(scored)
+        .into_iter()
+        .take(keep)
+        .map(|s| s.worker)
+        .collect()
+}
+
+/// Selects the `k` highest-scoring workers (Algorithm 4, line 17). If fewer than `k`
+/// workers are available, all of them are returned.
+pub fn top_k(scored: &[ScoredWorker], k: usize) -> Vec<WorkerId> {
+    sort_by_score(scored)
+        .into_iter()
+        .take(k)
+        .map(|s| s.worker)
+        .collect()
+}
+
+/// Number of elimination rounds after which at most `k` of `pool` workers remain
+/// under repeated halving (used by tests and the theory module).
+pub fn rounds_until_at_most(pool: usize, k: usize) -> usize {
+    if pool == 0 || k == 0 {
+        return 0;
+    }
+    let mut remaining = pool;
+    let mut rounds = 0;
+    while remaining > k {
+        remaining = remaining.div_ceil(2);
+        rounds += 1;
+        if rounds > 64 {
+            break;
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(values: &[f64]) -> Vec<ScoredWorker> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ScoredWorker::new(i, v))
+            .collect()
+    }
+
+    #[test]
+    fn sorting_is_descending_and_deterministic() {
+        let s = scored(&[0.3, 0.9, 0.5, 0.9]);
+        let sorted = sort_by_score(&s);
+        let ids: Vec<_> = sorted.iter().map(|x| x.worker).collect();
+        // Ties (workers 1 and 3, both 0.9) break by id.
+        assert_eq!(ids, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn median_elimination_keeps_upper_half() {
+        let s = scored(&[0.1, 0.8, 0.4, 0.9, 0.6, 0.2]);
+        let kept = median_eliminate(&s);
+        assert_eq!(kept.len(), 3);
+        assert!(kept.contains(&3));
+        assert!(kept.contains(&1));
+        assert!(kept.contains(&4));
+    }
+
+    #[test]
+    fn odd_sized_pools_keep_the_ceiling() {
+        let s = scored(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let kept = median_eliminate(&s);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept, vec![4, 3, 2]);
+        // Single worker survives its own elimination.
+        assert_eq!(median_eliminate(&scored(&[0.7])), vec![0]);
+        // Empty input stays empty.
+        assert!(median_eliminate(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_selects_the_best() {
+        let s = scored(&[0.2, 0.9, 0.7, 0.1, 0.8]);
+        assert_eq!(top_k(&s, 2), vec![1, 4]);
+        assert_eq!(top_k(&s, 0).len(), 0);
+        // Requesting more than available returns everyone, best first.
+        assert_eq!(top_k(&s, 10).len(), 5);
+        assert_eq!(top_k(&s, 10)[0], 1);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let s = vec![
+            ScoredWorker::new(0, f64::NAN),
+            ScoredWorker::new(1, 0.5),
+            ScoredWorker::new(2, 0.8),
+        ];
+        let kept = median_eliminate(&s);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&2));
+    }
+
+    #[test]
+    fn halving_round_count() {
+        assert_eq!(rounds_until_at_most(27, 7), 2);
+        assert_eq!(rounds_until_at_most(40, 5), 3);
+        assert_eq!(rounds_until_at_most(160, 5), 5);
+        assert_eq!(rounds_until_at_most(8, 8), 0);
+        assert_eq!(rounds_until_at_most(0, 5), 0);
+        assert_eq!(rounds_until_at_most(5, 0), 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Descriptive statistics: moments, quantiles, Pearson correlation, and histograms.
+//!
+//! The dataset-consistency analysis of the paper (Table IV) reports per-domain means
+//! and standard deviations, buckets worker accuracies into histograms, and computes
+//! Pearson correlations between the real and synthetic accuracy distributions; the
+//! functions here implement exactly those summaries.
+
+use crate::StatsError;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+}
+
+/// Unbiased (n-1) sample variance; `0.0` when fewer than two points are given.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Population (n) variance; `0.0` for an empty slice.
+pub fn population_variance(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Population standard deviation.
+pub fn population_std_dev(data: &[f64]) -> f64 {
+    population_variance(data).sqrt()
+}
+
+/// Median of the data; `None` for an empty slice.
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Linear-interpolation quantile (type-7, the numpy default); `None` for an empty
+/// slice or a `q` outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Minimum of the data; `None` for an empty slice.
+pub fn min(data: &[f64]) -> Option<f64> {
+    data.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of the data; `None` for an empty slice.
+pub fn max(data: &[f64]) -> Option<f64> {
+    data.iter().copied().reduce(f64::max)
+}
+
+/// Pearson product-moment correlation between two equal-length samples.
+///
+/// Returns an error on length mismatch or fewer than two points; returns `0.0` when
+/// either sample is constant (zero variance), which is the conventional choice for
+/// the bucketed-histogram comparison the paper performs.
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let dx = a - mx;
+        let dy = b - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Sample covariance between two equal-length samples (unbiased, n-1).
+pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let sum: f64 = x
+        .iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum();
+    Ok(sum / (x.len() - 1) as f64)
+}
+
+/// A fixed-width histogram over `[lower, upper)` used to bucket annotation accuracies
+/// (the paper buckets target-domain accuracy before computing Pearson correlations
+/// between RW-1 and each synthetic dataset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lower: f64,
+    upper: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width buckets over
+    /// `[lower, upper)`. Values outside the range are clamped into the first/last
+    /// bucket so that no observation is silently dropped.
+    pub fn new(data: &[f64], bins: usize, lower: f64, upper: f64) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram needs at least one bin",
+                value: 0.0,
+            });
+        }
+        if !(lower < upper) {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram bounds must satisfy lower < upper",
+                value: upper - lower,
+            });
+        }
+        let mut counts = vec![0usize; bins];
+        let width = (upper - lower) / bins as f64;
+        for &x in data {
+            let idx = if x <= lower {
+                0
+            } else if x >= upper {
+                bins - 1
+            } else {
+                (((x - lower) / width) as usize).min(bins - 1)
+            };
+            counts[idx] += 1;
+        }
+        Ok(Self {
+            lower,
+            upper,
+            counts,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw counts per bucket.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Counts normalised to relative frequencies (they sum to 1 unless empty).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.upper - self.lower) / self.bins() as f64;
+        self.lower + (i as f64 + 0.5) * width
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Summary of a sample: count, mean, standard deviation, min, max, median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median observation.
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`; returns an error for an empty slice.
+    pub fn of(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        Ok(Self {
+            count: data.len(),
+            mean: mean(data),
+            std_dev: std_dev(data),
+            min: min(data).unwrap(),
+            max: max(data).unwrap(),
+            median: median(data).unwrap(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [f64; 6] = [2.0, 4.0, 4.0, 4.0, 5.0, 7.0];
+
+    #[test]
+    fn moments() {
+        assert!((mean(&DATA) - 26.0 / 6.0).abs() < 1e-12);
+        assert!((population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(population_std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        assert_eq!(median(&[1.0, 3.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.25), Some(2.0));
+        assert_eq!(quantile(&[1.0, 2.0], 0.0), Some(1.0));
+        assert_eq!(quantile(&[1.0, 2.0], 1.0), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(min(&DATA), Some(2.0));
+        assert_eq!(max(&DATA), Some(7.0));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_handles_edge_cases() {
+        let x = [1.0, 2.0, 3.0];
+        assert!(pearson_correlation(&x, &[1.0, 2.0]).is_err());
+        assert!(pearson_correlation(&[1.0], &[1.0]).is_err());
+        // Constant series → conventionally 0.
+        assert_eq!(pearson_correlation(&x, &[5.0, 5.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed example.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson_correlation(&x, &y).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "r={r}");
+    }
+
+    #[test]
+    fn covariance_matches_variance_on_self() {
+        let x = [1.0, 2.0, 3.0, 7.0];
+        assert!((covariance(&x, &x).unwrap() - variance(&x)).abs() < 1e-12);
+        assert!(covariance(&x, &[1.0]).is_err());
+        assert!(covariance(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let data = [0.05, 0.15, 0.15, 0.95, 1.2, -0.3];
+        let h = Histogram::new(&data, 10, 0.0, 1.0).unwrap();
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 2); // 0.05 and the clamped -0.3
+        assert_eq!(h.counts()[1], 2); // both 0.15
+        assert_eq!(h.counts()[9], 2); // 0.95 and the clamped 1.2
+        let freq = h.frequencies();
+        assert!((freq.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(0) - 0.05).abs() < 1e-12);
+        assert!((h.bin_center(9) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_validation_and_empty() {
+        assert!(Histogram::new(&[1.0], 0, 0.0, 1.0).is_err());
+        assert!(Histogram::new(&[1.0], 5, 1.0, 0.0).is_err());
+        let h = Histogram::new(&[], 4, 0.0, 1.0).unwrap();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.frequencies(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn summary_reports_all_fields() {
+        let s = Summary::of(&DATA).unwrap();
+        assert_eq!(s.count, 6);
+        assert!((s.mean - 26.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 4.0);
+        assert!(Summary::of(&[]).is_err());
+    }
+}

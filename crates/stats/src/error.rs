@@ -1,0 +1,99 @@
+//! Error type shared by the statistics crate.
+
+use std::fmt;
+
+/// Errors produced by statistical constructions and estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution or estimator parameter was outside its valid range.
+    InvalidParameter {
+        /// Description of the constraint that was violated.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two inputs that must agree in length/dimension did not.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        what: &'static str,
+        /// Left-hand extent.
+        left: usize,
+        /// Right-hand extent.
+        right: usize,
+    },
+    /// Two paired samples had different lengths.
+    LengthMismatch {
+        /// Length of the first sample.
+        left: usize,
+        /// Length of the second sample.
+        right: usize,
+    },
+    /// An estimator needed more observations than were supplied.
+    NotEnoughData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// A numerical routine (factorisation, integration, repair) failed.
+    Numerical(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter: {what} (got {value})")
+            }
+            StatsError::DimensionMismatch { what, left, right } => {
+                write!(f, "dimension mismatch: {what} ({left} vs {right})")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired samples have different lengths ({left} vs {right})")
+            }
+            StatsError::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: needed {needed}, got {got}")
+            }
+            StatsError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StatsError::InvalidParameter {
+            what: "p",
+            value: 2.0
+        }
+        .to_string()
+        .contains("invalid parameter"));
+        assert!(StatsError::DimensionMismatch {
+            what: "x",
+            left: 1,
+            right: 2
+        }
+        .to_string()
+        .contains("1 vs 2"));
+        assert!(StatsError::LengthMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains("3 vs 4"));
+        assert!(StatsError::NotEnoughData { needed: 2, got: 0 }
+            .to_string()
+            .contains("needed 2"));
+        assert!(StatsError::Numerical("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&StatsError::Numerical("x".into()));
+    }
+}

@@ -1,0 +1,228 @@
+//! One-dimensional numerical quadrature.
+//!
+//! The CPE estimator repeatedly evaluates integrals of the form
+//! `∫_0^1 h^C (1-h)^X · N(h; mu, sigma^2) dh` (Eq. 5 and Eq. 8 of the paper). The
+//! integrands are smooth on a bounded interval, so fixed-order Gauss–Legendre
+//! quadrature is both accurate and fast; adaptive Simpson is provided as a
+//! cross-check used by the tests and available for callers who prefer an error
+//! tolerance to a fixed order.
+
+/// Nodes and weights of an `n`-point Gauss–Legendre rule on `[-1, 1]`.
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds an `n`-point rule by Newton iteration on the Legendre polynomial roots.
+    ///
+    /// `n` is clamped to at least 2. Rules up to a few hundred points are cheap to
+    /// build; the CPE path caches one rule and reuses it for every worker.
+    pub fn new(n: usize) -> Self {
+        let n = n.max(2);
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Initial guess: Chebyshev-like approximation of the i-th root.
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut dp = 0.0;
+            // Newton iterations.
+            for _ in 0..100 {
+                // Evaluate P_n(x) and P_{n-1}(x) by the three-term recurrence.
+                let mut p0 = 1.0;
+                let mut p1 = 0.0;
+                for j in 0..n {
+                    let p2 = p1;
+                    p1 = p0;
+                    p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+                }
+                // Derivative via the standard identity.
+                dp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
+                let dx = p0 / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        Self { nodes, weights }
+    }
+
+    /// Number of points in the rule.
+    pub fn order(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut sum = 0.0;
+        for (x, w) in self.nodes.iter().zip(self.weights.iter()) {
+            sum += w * f(mid + half * x);
+        }
+        sum * half
+    }
+
+    /// Integrates `x * f(x)` over `[a, b]` — convenience for first moments.
+    pub fn integrate_moment(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.integrate(a, b, |x| x * f(x))
+    }
+}
+
+/// Adaptive Simpson quadrature on `[a, b]` with absolute tolerance `tol`.
+///
+/// Recursion depth is bounded; the returned value is the best available estimate even
+/// when the tolerance cannot be met (the integrands in this workspace are smooth, so
+/// in practice the tolerance is always met long before the depth bound).
+pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+        (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        f: &impl Fn(f64) -> f64,
+        a: f64,
+        b: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: usize,
+    ) -> f64 {
+        let m = 0.5 * (a + b);
+        let lm = 0.5 * (a + m);
+        let rm = 0.5 * (m + b);
+        let flm = f(lm);
+        let frm = f(rm);
+        let left = simpson(a, m, fa, flm, fm);
+        let right = simpson(m, b, fm, frm, fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            left + right + delta / 15.0
+        } else {
+            recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+                + recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+        }
+    }
+
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    recurse(&f, a, b, fa, fm, fb, whole, tol.max(1e-14), 40)
+}
+
+/// Composite trapezoidal rule with `n` sub-intervals — the simplest cross-check.
+pub fn trapezoid(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let n = n.max(1);
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    sum * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::std_normal_pdf;
+
+    #[test]
+    fn gauss_legendre_weights_sum_to_interval_length() {
+        for &n in &[2usize, 8, 16, 32, 64] {
+            let gl = GaussLegendre::new(n);
+            assert_eq!(gl.order(), n);
+            let total: f64 = gl.weights.iter().sum();
+            assert!((total - 2.0).abs() < 1e-12, "order {n}: {total}");
+        }
+    }
+
+    #[test]
+    fn gauss_legendre_exact_for_polynomials() {
+        // An n-point rule integrates polynomials of degree 2n-1 exactly.
+        let gl = GaussLegendre::new(5);
+        // ∫_0^1 x^9 dx = 0.1
+        let got = gl.integrate(0.0, 1.0, |x| x.powi(9));
+        assert!((got - 0.1).abs() < 1e-13);
+        // ∫_{-2}^{3} (x^3 - 2x + 1) dx = [x^4/4 - x^2 + x] = (81/4 - 9 + 3) - (4 - 4 - 2)
+        let exact = (81.0 / 4.0 - 9.0 + 3.0) - (4.0 - 4.0 - 2.0);
+        let got = gl.integrate(-2.0, 3.0, |x| x.powi(3) - 2.0 * x + 1.0);
+        assert!((got - exact).abs() < 1e-11);
+    }
+
+    #[test]
+    fn gauss_legendre_handles_transcendental_integrands() {
+        let gl = GaussLegendre::new(32);
+        // ∫_0^pi sin(x) dx = 2
+        assert!((gl.integrate(0.0, std::f64::consts::PI, f64::sin) - 2.0).abs() < 1e-10);
+        // ∫_0^1 e^x dx = e - 1
+        assert!((gl.integrate(0.0, 1.0, f64::exp) - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_legendre_integrates_normal_density() {
+        let gl = GaussLegendre::new(64);
+        // Nearly all the standard normal mass lies in [-8, 8].
+        let mass = gl.integrate(-8.0, 8.0, std_normal_pdf);
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        // First moment of the standard normal over a symmetric interval is 0.
+        let moment = gl.integrate_moment(-8.0, 8.0, std_normal_pdf);
+        assert!(moment.abs() < 1e-10);
+    }
+
+    #[test]
+    fn gauss_legendre_binomial_kernel_matches_beta_function() {
+        // ∫_0^1 h^C (1-h)^X dh = B(C+1, X+1)
+        let gl = GaussLegendre::new(32);
+        for &(c, x) in &[(0usize, 0usize), (3, 1), (5, 5), (10, 2)] {
+            let got = gl.integrate(0.0, 1.0, |h| h.powi(c as i32) * (1.0 - h).powi(x as i32));
+            let exact = crate::special::ln_beta(c as f64 + 1.0, x as f64 + 1.0).exp();
+            assert!((got - exact).abs() < 1e-10, "C={c} X={x}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn minimum_order_is_two() {
+        let gl = GaussLegendre::new(0);
+        assert_eq!(gl.order(), 2);
+        assert!((gl.integrate(0.0, 1.0, |x| x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_simpson_matches_known_integrals() {
+        assert!((adaptive_simpson(f64::sin, 0.0, std::f64::consts::PI, 1e-10) - 2.0).abs() < 1e-8);
+        assert!((adaptive_simpson(|x| x * x, 0.0, 3.0, 1e-10) - 9.0).abs() < 1e-8);
+        assert_eq!(adaptive_simpson(|x| x, 2.0, 2.0, 1e-10), 0.0);
+    }
+
+    #[test]
+    fn quadrature_methods_agree() {
+        let f = |x: f64| (x * 3.0).sin() * (-x).exp() + 0.3;
+        let gl = GaussLegendre::new(48).integrate(0.0, 2.0, f);
+        let simpson = adaptive_simpson(f, 0.0, 2.0, 1e-12);
+        let trap = trapezoid(f, 0.0, 2.0, 20_000);
+        assert!((gl - simpson).abs() < 1e-9);
+        assert!((gl - trap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trapezoid_basic() {
+        assert!((trapezoid(|x| x, 0.0, 1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((trapezoid(|x| x * x, 0.0, 1.0, 1000) - 1.0 / 3.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,478 @@
+//! Multivariate normal distribution over worker accuracy vectors.
+//!
+//! The paper models each worker's per-domain annotation accuracy as a
+//! `(D+1)`-dimensional random vector `v_i = [h_{i,1}, ..., h_{i,D}, h_{i,T}]^T` drawn
+//! from `N(mu, Sigma)` (Eq. 1–2). The covariance is parameterised by per-domain
+//! standard deviations `sigma_d` and pairwise correlations `rho_{i,j}`. This module
+//! implements:
+//!
+//! * construction either from a raw covariance or from `(sigma, rho)` parameters;
+//! * log-density and sampling (via Cholesky);
+//! * truncated-box sampling (accuracies live in `(0, 1)` — Sec. V-A);
+//! * conditioning on a subset of coordinates (the `mu_bar` / `Sigma_bar` of Eq. 5),
+//!   which is the primitive the CPE estimator uses to predict the target-domain
+//!   accuracy from the prior-domain profile.
+
+use crate::univariate::sample_standard_normal;
+use crate::StatsError;
+use c4u_linalg::{Cholesky, Matrix, Vector};
+use rand::Rng;
+
+/// Default number of rejection-sampling attempts for box-truncated draws before
+/// falling back to clamping the last proposal into the box.
+const TRUNCATION_MAX_REJECTS: usize = 256;
+
+/// A multivariate normal distribution `N(mu, Sigma)`.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vector,
+    cov: Matrix,
+    chol: Cholesky,
+}
+
+/// The univariate conditional distribution of one coordinate given the others, i.e.
+/// the `(mu_bar, Sigma_bar)` pair of Eq. 5 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conditional1D {
+    /// Conditional mean `mu_bar`.
+    pub mean: f64,
+    /// Conditional variance `Sigma_bar` (always positive; floored at a tiny value).
+    pub variance: f64,
+}
+
+impl Conditional1D {
+    /// Conditional standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+impl MultivariateNormal {
+    /// Creates a distribution from a mean vector and covariance matrix.
+    ///
+    /// The covariance is symmetrised and, if necessary, repaired with diagonal jitter
+    /// so that a valid Cholesky factor always exists (gradient updates in CPE can
+    /// produce slightly indefinite matrices).
+    pub fn new(mean: Vector, cov: Matrix) -> Result<Self, StatsError> {
+        let d = mean.len();
+        if d == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if cov.shape() != (d, d) {
+            return Err(StatsError::DimensionMismatch {
+                what: "covariance must be d x d",
+                left: d,
+                right: cov.nrows(),
+            });
+        }
+        if mean.has_non_finite() || cov.has_non_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "mean/covariance must be finite",
+                value: f64::NAN,
+            });
+        }
+        let cov = cov
+            .symmetrize()
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        let chol = Cholesky::new_with_jitter(&cov, 1e-10, 12)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        Ok(Self { mean, cov, chol })
+    }
+
+    /// Creates a distribution from per-dimension means, standard deviations, and a
+    /// correlation matrix, i.e. exactly the parameterisation of Eq. 2:
+    /// `Sigma[i][j] = rho[i][j] * sigma[i] * sigma[j]` with `rho[i][i] = 1`.
+    pub fn from_correlations(
+        means: &[f64],
+        std_devs: &[f64],
+        correlations: &Matrix,
+    ) -> Result<Self, StatsError> {
+        let d = means.len();
+        if std_devs.len() != d {
+            return Err(StatsError::DimensionMismatch {
+                what: "means and std_devs must have equal length",
+                left: d,
+                right: std_devs.len(),
+            });
+        }
+        if correlations.shape() != (d, d) {
+            return Err(StatsError::DimensionMismatch {
+                what: "correlation matrix must be d x d",
+                left: d,
+                right: correlations.nrows(),
+            });
+        }
+        for (i, &s) in std_devs.iter().enumerate() {
+            if !(s > 0.0) || !s.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    what: "standard deviations must be finite and > 0",
+                    value: std_devs[i],
+                });
+            }
+        }
+        let cov = Matrix::from_fn(d, d, |i, j| {
+            if i == j {
+                std_devs[i] * std_devs[i]
+            } else {
+                correlations[(i, j)].clamp(-0.999, 0.999) * std_devs[i] * std_devs[j]
+            }
+        });
+        Self::new(Vector::from_slice(means), cov)
+    }
+
+    /// Dimensionality of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Covariance matrix.
+    pub fn covariance(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// Per-dimension standard deviations (square roots of the covariance diagonal).
+    pub fn std_devs(&self) -> Vec<f64> {
+        (0..self.dim())
+            .map(|i| self.cov[(i, i)].max(0.0).sqrt())
+            .collect()
+    }
+
+    /// The correlation parameter between dimensions `i` and `j`.
+    pub fn correlation(&self, i: usize, j: usize) -> Result<f64, StatsError> {
+        if i >= self.dim() || j >= self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                what: "correlation index out of range",
+                left: i.max(j),
+                right: self.dim(),
+            });
+        }
+        if i == j {
+            return Ok(1.0);
+        }
+        let si = self.cov[(i, i)].max(f64::MIN_POSITIVE).sqrt();
+        let sj = self.cov[(j, j)].max(f64::MIN_POSITIVE).sqrt();
+        Ok((self.cov[(i, j)] / (si * sj)).clamp(-1.0, 1.0))
+    }
+
+    /// Full correlation matrix.
+    pub fn correlation_matrix(&self) -> Matrix {
+        let d = self.dim();
+        Matrix::from_fn(d, d, |i, j| self.correlation(i, j).unwrap_or(0.0))
+    }
+
+    /// Log-density at `x`.
+    pub fn log_pdf(&self, x: &Vector) -> Result<f64, StatsError> {
+        if x.len() != self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                what: "log_pdf point dimension",
+                left: x.len(),
+                right: self.dim(),
+            });
+        }
+        let diff = x
+            .sub(&self.mean)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        let maha = self
+            .chol
+            .mahalanobis_squared(&diff)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        let d = self.dim() as f64;
+        Ok(-0.5 * (d * (2.0 * std::f64::consts::PI).ln() + self.chol.log_determinant() + maha))
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: &Vector) -> Result<f64, StatsError> {
+        Ok(self.log_pdf(x)?.exp())
+    }
+
+    /// Draws one sample `x = mu + L z` with `z` standard normal.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let z = Vector::from_fn(self.dim(), |_| sample_standard_normal(rng));
+        let lz = self
+            .chol
+            .l()
+            .matvec(&z)
+            .expect("Cholesky factor conforms with z");
+        self.mean.add(&lz).expect("dimensions conform")
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vector> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws a sample with every coordinate restricted to `[lower, upper]` by
+    /// rejection sampling (falling back to clamping after
+    /// [`TRUNCATION_MAX_REJECTS`] rejected proposals).
+    ///
+    /// This is the "truncated multivariate normal distribution within (0, 1)" used to
+    /// generate synthetic workers in Sec. V-A of the paper.
+    pub fn sample_truncated<R: Rng + ?Sized>(&self, rng: &mut R, lower: f64, upper: f64) -> Vector {
+        for _ in 0..TRUNCATION_MAX_REJECTS {
+            let x = self.sample(rng);
+            if x.iter().all(|&v| v >= lower && v <= upper) {
+                return x;
+            }
+        }
+        self.sample(rng).clamp(lower, upper)
+    }
+
+    /// Conditional distribution of coordinate `target` given observed values for the
+    /// coordinates `given_idx` (`given_idx[i]` observed as `given_values[i]`).
+    ///
+    /// With the usual block notation this is
+    /// `mu_bar  = mu_T + Sigma_{T,G} Sigma_{G,G}^{-1} (x_G - mu_G)` and
+    /// `Sigma_bar = Sigma_{T,T} - Sigma_{T,G} Sigma_{G,G}^{-1} Sigma_{G,T}`,
+    /// exactly the expressions under Eq. 5 in the paper. When `given_idx` is empty
+    /// the marginal of the target coordinate is returned, which is what makes the
+    /// "worker has no historical record on any prior domain" case work transparently.
+    pub fn condition_on(
+        &self,
+        target: usize,
+        given_idx: &[usize],
+        given_values: &[f64],
+    ) -> Result<Conditional1D, StatsError> {
+        let d = self.dim();
+        if target >= d {
+            return Err(StatsError::DimensionMismatch {
+                what: "conditioning target out of range",
+                left: target,
+                right: d,
+            });
+        }
+        if given_idx.len() != given_values.len() {
+            return Err(StatsError::DimensionMismatch {
+                what: "given indices and values must have equal length",
+                left: given_idx.len(),
+                right: given_values.len(),
+            });
+        }
+        if given_idx.iter().any(|&i| i >= d || i == target) {
+            return Err(StatsError::InvalidParameter {
+                what: "given index out of range or equal to target",
+                value: target as f64,
+            });
+        }
+        let var_t = self.cov[(target, target)];
+        if given_idx.is_empty() {
+            return Ok(Conditional1D {
+                mean: self.mean[target],
+                variance: var_t.max(1e-12),
+            });
+        }
+
+        let sigma_gg = self
+            .cov
+            .submatrix(given_idx, given_idx)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        let sigma_tg = Vector::from_fn(given_idx.len(), |j| self.cov[(target, given_idx[j])]);
+        let diff = Vector::from_fn(given_idx.len(), |j| given_values[j] - self.mean[given_idx[j]]);
+
+        let chol_gg = Cholesky::new_with_jitter(&sigma_gg, 1e-10, 12)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        // w = Sigma_{G,G}^{-1} (x_G - mu_G)
+        let w = chol_gg
+            .solve(&diff)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        // v = Sigma_{G,G}^{-1} Sigma_{G,T}
+        let v = chol_gg
+            .solve(&sigma_tg)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+
+        let mean = self.mean[target]
+            + sigma_tg
+                .dot(&w)
+                .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        let variance = var_t
+            - sigma_tg
+                .dot(&v)
+                .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        Ok(Conditional1D {
+            mean,
+            variance: variance.max(1e-12),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example_mvn() -> MultivariateNormal {
+        let mean = Vector::from_slice(&[0.7, 0.88, 0.58, 0.55]);
+        let std = [0.22, 0.10, 0.25, 0.17];
+        let rho = Matrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.5 });
+        MultivariateNormal::from_correlations(mean.as_slice(), &std, &rho).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MultivariateNormal::new(Vector::zeros(0), Matrix::zeros(0, 0)).is_err());
+        assert!(MultivariateNormal::new(Vector::zeros(2), Matrix::zeros(3, 3)).is_err());
+        let mut bad = Matrix::identity(2);
+        bad[(0, 0)] = f64::NAN;
+        assert!(MultivariateNormal::new(Vector::zeros(2), bad).is_err());
+        assert!(MultivariateNormal::from_correlations(
+            &[0.5, 0.5],
+            &[0.1],
+            &Matrix::identity(2)
+        )
+        .is_err());
+        assert!(MultivariateNormal::from_correlations(
+            &[0.5, 0.5],
+            &[0.1, 0.0],
+            &Matrix::identity(2)
+        )
+        .is_err());
+        assert!(MultivariateNormal::from_correlations(
+            &[0.5, 0.5],
+            &[0.1, 0.1],
+            &Matrix::identity(3)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn correlation_roundtrip() {
+        let mvn = example_mvn();
+        for i in 0..4 {
+            assert!((mvn.correlation(i, i).unwrap() - 1.0).abs() < 1e-12);
+            for j in 0..4 {
+                if i != j {
+                    assert!((mvn.correlation(i, j).unwrap() - 0.5).abs() < 1e-9);
+                }
+            }
+        }
+        let stds = mvn.std_devs();
+        assert!((stds[0] - 0.22).abs() < 1e-12);
+        assert!((stds[3] - 0.17).abs() < 1e-12);
+        assert!(mvn.correlation(0, 9).is_err());
+        let corr = mvn.correlation_matrix();
+        assert!((corr[(1, 2)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_matches_univariate_for_1d() {
+        let mvn =
+            MultivariateNormal::new(Vector::from_slice(&[1.0]), Matrix::from_diagonal(&[4.0]))
+                .unwrap();
+        let n = crate::Normal::new(1.0, 2.0).unwrap();
+        for &x in &[-1.0, 0.0, 1.0, 3.5] {
+            let got = mvn.log_pdf(&Vector::from_slice(&[x])).unwrap();
+            assert!((got - n.log_pdf(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_pdf_independent_factorises() {
+        // For a diagonal covariance the joint log-density is the sum of marginals.
+        let mvn = MultivariateNormal::new(
+            Vector::from_slice(&[0.0, 2.0]),
+            Matrix::from_diagonal(&[1.0, 9.0]),
+        )
+        .unwrap();
+        let n1 = crate::Normal::new(0.0, 1.0).unwrap();
+        let n2 = crate::Normal::new(2.0, 3.0).unwrap();
+        let x = Vector::from_slice(&[0.7, -1.0]);
+        let got = mvn.log_pdf(&x).unwrap();
+        assert!((got - (n1.log_pdf(0.7) + n2.log_pdf(-1.0))).abs() < 1e-9);
+        assert!(mvn.log_pdf(&Vector::zeros(3)).is_err());
+        assert!((mvn.pdf(&x).unwrap() - got.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_recovers_moments() {
+        let mvn = example_mvn();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = mvn.sample_n(&mut rng, 30_000);
+        for d in 0..4 {
+            let vals: Vec<f64> = samples.iter().map(|s| s[d]).collect();
+            let m = crate::descriptive::mean(&vals);
+            let s = crate::descriptive::std_dev(&vals);
+            assert!((m - mvn.mean()[d]).abs() < 0.01, "dim {d} mean {m}");
+            assert!((s - mvn.std_devs()[d]).abs() < 0.01, "dim {d} std {s}");
+        }
+        // Empirical correlation close to 0.5.
+        let x: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        let y: Vec<f64> = samples.iter().map(|s| s[1]).collect();
+        let r = crate::descriptive::pearson_correlation(&x, &y).unwrap();
+        assert!((r - 0.5).abs() < 0.03, "corr {r}");
+    }
+
+    #[test]
+    fn truncated_sampling_stays_in_box() {
+        let mvn = example_mvn();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let x = mvn.sample_truncated(&mut rng, 0.0, 1.0);
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn conditioning_reduces_variance_with_positive_correlation() {
+        let mvn = example_mvn();
+        let marginal = mvn.condition_on(3, &[], &[]).unwrap();
+        let cond = mvn
+            .condition_on(3, &[0, 1, 2], &[0.9, 0.95, 0.8])
+            .unwrap();
+        assert!(cond.variance < marginal.variance);
+        // A strong profile should pull the conditional mean above the marginal mean.
+        assert!(cond.mean > marginal.mean);
+        // And a weak profile below it.
+        let weak = mvn.condition_on(3, &[0, 1, 2], &[0.2, 0.5, 0.1]).unwrap();
+        assert!(weak.mean < marginal.mean);
+        assert!(cond.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn conditioning_matches_bivariate_closed_form() {
+        // For a bivariate normal, E[Y|X=x] = mu_y + rho*sigma_y/sigma_x*(x - mu_x),
+        // Var[Y|X=x] = sigma_y^2 (1 - rho^2).
+        let (mu_x, mu_y, sx, sy, rho) = (0.6, 0.5, 0.2, 0.15, 0.7);
+        let corr = Matrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { rho });
+        let mvn =
+            MultivariateNormal::from_correlations(&[mu_x, mu_y], &[sx, sy], &corr).unwrap();
+        let x_obs = 0.9;
+        let cond = mvn.condition_on(1, &[0], &[x_obs]).unwrap();
+        let expected_mean = mu_y + rho * sy / sx * (x_obs - mu_x);
+        let expected_var = sy * sy * (1.0 - rho * rho);
+        assert!((cond.mean - expected_mean).abs() < 1e-9);
+        assert!((cond.variance - expected_var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_validation() {
+        let mvn = example_mvn();
+        assert!(mvn.condition_on(9, &[], &[]).is_err());
+        assert!(mvn.condition_on(3, &[0], &[]).is_err());
+        assert!(mvn.condition_on(3, &[3], &[0.5]).is_err());
+        assert!(mvn.condition_on(3, &[7], &[0.5]).is_err());
+    }
+
+    #[test]
+    fn indefinite_covariance_is_repaired() {
+        // A "correlation" of 1.0 between all pairs with unequal variances is not PSD
+        // once perturbed; the jitter repair should still produce a usable model.
+        let cov = Matrix::from_rows(&[
+            vec![0.04, 0.05, 0.03],
+            vec![0.05, 0.04, 0.05],
+            vec![0.03, 0.05, 0.04],
+        ])
+        .unwrap();
+        let mvn = MultivariateNormal::new(Vector::from_slice(&[0.5, 0.5, 0.5]), cov);
+        assert!(mvn.is_ok());
+        let mvn = mvn.unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = mvn.sample(&mut rng);
+        assert_eq!(x.len(), 3);
+        assert!(mvn.log_pdf(&x).unwrap().is_finite());
+    }
+}

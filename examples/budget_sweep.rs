@@ -1,0 +1,53 @@
+//! Budget sensitivity: vary the number of learning tasks per batch `Q` on a
+//! synthetic dataset and watch the gap between the cross-domain-aware method and the
+//! baselines close as the budget grows — the Figure 7 phenomenon of the paper.
+//!
+//! ```bash
+//! cargo run --release --example budget_sweep
+//! ```
+
+use c4u_crowd_sim::{generate, DatasetConfig};
+use c4u_selection::{
+    evaluate_strategy, CrossDomainSelector, MedianEliminationBaseline, SelectorConfig,
+    UniformSampling, WorkerSelector,
+};
+
+fn main() {
+    let base = DatasetConfig::s1();
+    let seed = 5;
+
+    println!(
+        "{:>4} {:>7} {:>9} {:>9} {:>9}",
+        "Q", "budget", "US", "ME", "Ours"
+    );
+    for q in [16usize, 20, 30, 40] {
+        let config = base.with_tasks_per_batch(q);
+        let dataset = generate(&config).expect("valid dataset");
+
+        let us = UniformSampling::new();
+        let me = MedianEliminationBaseline::new();
+        let mut ours_config = SelectorConfig::default();
+        ours_config.cpe.epochs = 20;
+        let ours = CrossDomainSelector::new(ours_config);
+
+        let acc = |s: &dyn WorkerSelector| {
+            evaluate_strategy(&dataset, s, seed)
+                .expect("evaluation")
+                .working_accuracy
+        };
+
+        println!(
+            "{:>4} {:>7} {:>9.3} {:>9.3} {:>9.3}",
+            q,
+            config.budget(),
+            acc(&us),
+            acc(&me),
+            acc(&ours)
+        );
+    }
+
+    println!("\nWith a small per-batch budget the cross-domain profile carries most of the");
+    println!("signal, so \"Ours\" enjoys its largest margin; as Q grows every method observes");
+    println!("enough golden questions to identify the good workers and the curves converge");
+    println!("(Figure 7 of the paper).");
+}
