@@ -24,12 +24,8 @@ fn main() {
     let mut specs = Vec::new();
     for config in &configs {
         for &a_t in &a_t_values {
-            let mut spec = CellSpec::standard(
-                config.clone(),
-                StrategyKind::Ours,
-                epochs,
-                seeds.clone(),
-            );
+            let mut spec =
+                CellSpec::standard(config.clone(), StrategyKind::Ours, epochs, seeds.clone());
             spec.initial_target_accuracy = a_t;
             specs.push(spec);
         }

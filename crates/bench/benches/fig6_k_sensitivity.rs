@@ -39,12 +39,7 @@ fn main() {
         let mut specs = Vec::new();
         for &k in &ks {
             for &strategy in &strategies {
-                let mut spec = CellSpec::standard(
-                    config.clone(),
-                    strategy,
-                    epochs,
-                    seeds.clone(),
-                );
+                let mut spec = CellSpec::standard(config.clone(), strategy, epochs, seeds.clone());
                 spec.k = k;
                 specs.push(spec);
             }

@@ -20,9 +20,7 @@ fn main() {
         StrategyKind::GroundTruth,
     ];
 
-    println!(
-        "Figure 7 — sensitivity to the learning tasks per batch Q (CPE epochs = {epochs})\n"
-    );
+    println!("Figure 7 — sensitivity to the learning tasks per batch Q (CPE epochs = {epochs})\n");
 
     for base in [
         DatasetConfig::s1(),

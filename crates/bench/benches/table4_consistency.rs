@@ -5,9 +5,7 @@
 //! cargo bench -p c4u-bench --bench table4_consistency
 //! ```
 
-use c4u_crowd_sim::{
-    consistency_report, generate, moments_row, DatasetConfig, DEFAULT_BUCKETS,
-};
+use c4u_crowd_sim::{consistency_report, generate, moments_row, DatasetConfig, DEFAULT_BUCKETS};
 
 fn main() {
     let configs = [
@@ -42,14 +40,10 @@ fn main() {
 
     println!("\nConsistency of the synthetic datasets with RW-1 (bucketed target-accuracy");
     println!("distributions; the paper reports Pearson rho > 0.75 with its real RW-1 data):\n");
-    println!(
-        "{:<12} {:>12} {:>14}",
-        "pair", "pearson", "max mean gap"
-    );
+    println!("{:<12} {:>12} {:>14}", "pair", "pearson", "max mean gap");
     let rw1 = &datasets[0];
     for dataset in &datasets[1..] {
-        let report = consistency_report(rw1, dataset, DEFAULT_BUCKETS)
-            .expect("consistency report");
+        let report = consistency_report(rw1, dataset, DEFAULT_BUCKETS).expect("consistency report");
         println!(
             "RW-1 vs {:<4} {:>12.3} {:>14.3}",
             report.compared, report.pearson, report.max_mean_gap

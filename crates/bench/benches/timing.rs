@@ -37,7 +37,11 @@ fn bench_selection_pipeline(c: &mut Criterion) {
         .warm_up_time(Duration::from_secs(1))
         .measurement_time(Duration::from_secs(10));
 
-    for config in [DatasetConfig::rw1(), DatasetConfig::rw2(), DatasetConfig::s1()] {
+    for config in [
+        DatasetConfig::rw1(),
+        DatasetConfig::rw2(),
+        DatasetConfig::s1(),
+    ] {
         let dataset = generate(&config).expect("dataset");
         group.bench_with_input(
             BenchmarkId::new("full_method", &config.name),

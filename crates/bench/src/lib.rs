@@ -23,7 +23,7 @@ use c4u_selection::{
     evaluate_strategy_with_k, CrossDomainSelector, GroundTruthOracle, LiEtAl,
     MedianEliminationBaseline, SelectorConfig, UniformSampling, WorkerSelector,
 };
-use parking_lot::Mutex;
+use std::convert::Infallible;
 
 /// Default number of CPE gradient-descent epochs used by the bench targets.
 pub const DEFAULT_EPOCHS: usize = 10;
@@ -168,7 +168,9 @@ impl CellSpec {
 
 /// Evaluates one cell on an already-generated dataset.
 pub fn evaluate_cell_on(dataset: &Dataset, spec: &CellSpec) -> Cell {
-    let strategy = spec.strategy.build(spec.epochs, spec.initial_target_accuracy);
+    let strategy = spec
+        .strategy
+        .build(spec.epochs, spec.initial_target_accuracy);
     let mut accuracies = Vec::with_capacity(spec.seeds.len());
     for &seed in &spec.seeds {
         match evaluate_strategy_with_k(dataset, strategy.as_ref(), spec.k, seed) {
@@ -208,31 +210,22 @@ pub fn evaluate_cell(spec: &CellSpec) -> Cell {
 }
 
 /// Evaluates a batch of cells, spreading independent cells over worker threads.
+///
+/// Cells are independent (each generates its own dataset and platforms), so they
+/// are fanned out through the selection crate's shared scoped-thread work queue
+/// ([`c4u_selection::run_indexed_jobs`]); the results come back in cell order,
+/// making the output identical to a sequential evaluation.
 pub fn evaluate_cells(specs: &[CellSpec]) -> Vec<Cell> {
-    let results: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::with_capacity(specs.len()));
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(specs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if index >= specs.len() {
-                    break;
-                }
-                let cell = evaluate_cell(&specs[index]);
-                results.lock().push((index, cell));
-            });
-        }
-    })
-    .expect("experiment worker threads do not panic");
-
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(index, _)| *index);
-    collected.into_iter().map(|(_, cell)| cell).collect()
+        .unwrap_or(4);
+    let result: Result<Vec<Cell>, Infallible> =
+        c4u_selection::run_indexed_jobs(threads, specs.len(), |index| {
+            Ok(evaluate_cell(&specs[index]))
+        });
+    match result {
+        Ok(cells) => cells,
+    }
 }
 
 /// Formats a dataset-by-strategy accuracy table (rows = strategies, columns =
@@ -312,10 +305,13 @@ mod tests {
         let mut config = DatasetConfig::rw1();
         config.pool_size = 10;
         config.select_k = 3;
-        let specs: Vec<CellSpec> = [StrategyKind::UniformSampling, StrategyKind::MedianElimination]
-            .iter()
-            .map(|&s| CellSpec::standard(config.clone(), s, 2, vec![7]))
-            .collect();
+        let specs: Vec<CellSpec> = [
+            StrategyKind::UniformSampling,
+            StrategyKind::MedianElimination,
+        ]
+        .iter()
+        .map(|&s| CellSpec::standard(config.clone(), s, 2, vec![7]))
+        .collect();
         let cells = evaluate_cells(&specs);
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].strategy, "US");

@@ -126,7 +126,11 @@ mod tests {
         // RW-1 moments, have similar target-domain accuracy distributions
         // (the paper reports Pearson correlations above 0.75).
         let rw1 = generate(&DatasetConfig::rw1()).unwrap();
-        for config in [DatasetConfig::s1(), DatasetConfig::s3(), DatasetConfig::s4()] {
+        for config in [
+            DatasetConfig::s1(),
+            DatasetConfig::s3(),
+            DatasetConfig::s4(),
+        ] {
             let synth = generate(&config).unwrap();
             // RW-1 has only 27 workers, so a fine-grained histogram is noisy; five
             // buckets give a stable comparison for the unit test (the benchmark

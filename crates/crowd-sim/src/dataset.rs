@@ -82,10 +82,7 @@ impl Dataset {
 
     /// Historical accuracy of every worker on prior domain `d` (gaps as `None`).
     pub fn prior_accuracies(&self, d: usize) -> Vec<Option<f64>> {
-        self.workers
-            .iter()
-            .map(|w| w.profile.accuracy(d))
-            .collect()
+        self.workers.iter().map(|w| w.profile.accuracy(d)).collect()
     }
 
     /// Mean and standard deviation of the (observed) historical accuracy on prior
@@ -142,7 +139,12 @@ mod tests {
                 Domain::Target,
                 TaskKind::Learning,
             ),
-            TaskPool::generate(&mut rng, config.working_tasks, Domain::Target, TaskKind::Working),
+            TaskPool::generate(
+                &mut rng,
+                config.working_tasks,
+                Domain::Target,
+                TaskKind::Working,
+            ),
         )
     }
 

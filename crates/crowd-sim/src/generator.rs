@@ -45,8 +45,7 @@ pub fn generate(config: &DatasetConfig) -> Result<Dataset, SimError> {
             let correct = bern.count_successes(&mut rng, config.prior_tasks_per_domain);
             observed.push(Some(correct as f64 / config.prior_tasks_per_domain as f64));
         }
-        let profile =
-            HistoricalProfile::new(observed, vec![config.prior_tasks_per_domain; d])?;
+        let profile = HistoricalProfile::new(observed, vec![config.prior_tasks_per_domain; d])?;
         workers.push(WorkerSpec {
             profile,
             initial_target_accuracy: target,
@@ -117,7 +116,11 @@ pub fn build_population_model(
         Some(_) => {
             return Err(SimError::InvalidConfig {
                 what: "factor_loadings must have one entry per domain plus the target",
-                value: config.factor_loadings.as_ref().map(|l| l.len()).unwrap_or(0) as f64,
+                value: config
+                    .factor_loadings
+                    .as_ref()
+                    .map(|l| l.len())
+                    .unwrap_or(0) as f64,
             })
         }
         None => {
@@ -139,10 +142,14 @@ pub fn build_population_model(
 
 /// Generates several independent replicas of the same configuration with different
 /// seeds (used by the benchmark harness to average over generation noise).
-pub fn generate_replicas(config: &DatasetConfig, replicas: usize) -> Result<Vec<Dataset>, SimError> {
+pub fn generate_replicas(
+    config: &DatasetConfig,
+    replicas: usize,
+) -> Result<Vec<Dataset>, SimError> {
     (0..replicas)
         .map(|r| {
-            let cfg = config.with_seed(config.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9));
+            let cfg =
+                config.with_seed(config.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9));
             generate(&cfg)
         })
         .collect()

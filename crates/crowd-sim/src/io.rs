@@ -343,7 +343,10 @@ mod tests {
         let text = to_text(&ds);
         let back = from_text(&text).unwrap();
         assert_eq!(back.workers[3].profile.accuracy(1), None);
-        assert_eq!(back.workers[3].profile.accuracy(0), ds.workers[3].profile.accuracy(0));
+        assert_eq!(
+            back.workers[3].profile.accuracy(0),
+            ds.workers[3].profile.accuracy(0)
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub struct RoundRecord {
 impl RoundRecord {
     /// Gold labels of the assigned tasks (identical for every participating worker).
     pub fn gold(&self) -> &[bool] {
-        self.sheets.first().map(|s| s.gold.as_slice()).unwrap_or(&[])
+        self.sheets
+            .first()
+            .map(|s| s.gold.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Observed accuracy of a specific worker in this round, if they participated.
@@ -79,18 +82,23 @@ impl Platform {
             .iter()
             .enumerate()
             .map(|(id, spec)| {
-                SimulatedWorker::new(
-                    id,
-                    spec,
-                    target_difficulty,
-                    dataset.config.tasks_per_batch,
-                )
+                SimulatedWorker::new(id, spec, target_difficulty, dataset.config.tasks_per_batch)
             })
             .collect();
         Ok(Self {
             workers: workers?,
-            learning_gold: dataset.learning_tasks.tasks().iter().map(|t| t.gold).collect(),
-            working_gold: dataset.working_tasks.tasks().iter().map(|t| t.gold).collect(),
+            learning_gold: dataset
+                .learning_tasks
+                .tasks()
+                .iter()
+                .map(|t| t.gold)
+                .collect(),
+            working_gold: dataset
+                .working_tasks
+                .tasks()
+                .iter()
+                .map(|t| t.gold)
+                .collect(),
             rng: StdRng::seed_from_u64(seed),
             budget_total: dataset.config.budget(),
             budget_spent: 0,
@@ -252,10 +260,7 @@ impl Platform {
         }
         let mut total = 0.0;
         for &id in worker_ids {
-            let worker = self
-                .workers
-                .get(id)
-                .ok_or(SimError::UnknownWorker { id })?;
+            let worker = self.workers.get(id).ok_or(SimError::UnknownWorker { id })?;
             let sheet = worker.answer_working_batch(&mut self.rng, &self.working_gold)?;
             total += sheet.accuracy();
         }
@@ -368,7 +373,10 @@ mod tests {
             .copied()
             .filter(|&id| initial[id] > 0.65)
             .collect();
-        assert!(!strong.is_empty(), "RW-1 pool should contain strong workers");
+        assert!(
+            !strong.is_empty(),
+            "RW-1 pool should contain strong workers"
+        );
         let before = p.expected_working_accuracy(&strong).unwrap();
         for _ in 0..3 {
             p.assign_learning_batch(&strong, 6).unwrap();

@@ -323,7 +323,9 @@ mod tests {
         assert_eq!(p.observed_accuracies(), vec![0.7, 0.6]);
         assert_eq!(p.dense_accuracies(0.5), vec![0.7, 0.5, 0.6]);
         assert!(!p.is_complete());
-        assert!(HistoricalProfile::complete(vec![0.5], vec![3]).unwrap().is_complete());
+        assert!(HistoricalProfile::complete(vec![0.5], vec![3])
+            .unwrap()
+            .is_complete());
     }
 
     #[test]

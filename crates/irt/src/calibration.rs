@@ -219,7 +219,11 @@ mod tests {
         // anchors (no CPE stages yet).
         let fitted = calibrate_alpha(
             0.0,
-            &[prior(0.8, 20.0, 0.7), prior(-0.1, 10.0, 0.88), prior(0.3, 10.0, 0.58)],
+            &[
+                prior(0.8, 20.0, 0.7),
+                prior(-0.1, 10.0, 0.88),
+                prior(0.3, 10.0, 0.58),
+            ],
             &[],
         )
         .unwrap();

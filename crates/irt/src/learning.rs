@@ -95,7 +95,7 @@ impl LearningGainModel {
                 value: observed_accuracy,
             });
         }
-        if !(cumulative_tasks > 0.0) {
+        if cumulative_tasks.is_nan() || cumulative_tasks <= 0.0 {
             return Err(IrtError::InvalidParameter {
                 what: "cumulative task count must be > 0 to identify alpha",
                 value: cumulative_tasks,
@@ -197,7 +197,9 @@ mod tests {
         assert!(LearningGainModel::solve_alpha(0.7, 0.0, 0.0).is_err());
         assert!(LearningGainModel::solve_alpha(0.7, f64::NAN, 5.0).is_err());
         // Perfect first-batch accuracy still yields a finite (large) alpha.
-        assert!(LearningGainModel::solve_alpha(1.0, 0.0, 5.0).unwrap().is_finite());
+        assert!(LearningGainModel::solve_alpha(1.0, 0.0, 5.0)
+            .unwrap()
+            .is_finite());
     }
 
     #[test]

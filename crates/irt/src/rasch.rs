@@ -122,11 +122,13 @@ mod tests {
             assert!((item.baseline_accuracy() - a).abs() < 1e-9);
         }
         // a_T = 0.5 => beta_T = 0.
-        assert!(RaschItem::from_baseline_accuracy(0.5)
-            .unwrap()
-            .difficulty()
-            .abs()
-            < 1e-12);
+        assert!(
+            RaschItem::from_baseline_accuracy(0.5)
+                .unwrap()
+                .difficulty()
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Self { l, jitter_used: 0.0 })
+        Ok(Self {
+            l,
+            jitter_used: 0.0,
+        })
     }
 
     /// Factorises `a`, adding exponentially growing diagonal jitter until the
@@ -79,7 +82,10 @@ impl Cholesky {
             .max(f64::MIN_POSITIVE)
             / n as f64;
         let mut jitter = initial_jitter * mean_diag.max(1e-12);
-        let mut last_err = LinalgError::NotPositiveDefinite { index: 0, value: 0.0 };
+        let mut last_err = LinalgError::NotPositiveDefinite {
+            index: 0,
+            value: 0.0,
+        };
         for _ in 0..max_tries {
             let repaired = a.add_diagonal(jitter)?;
             match Self::new(&repaired) {
@@ -159,7 +165,7 @@ impl Cholesky {
     pub fn mahalanobis_squared(&self, d: &Vector) -> Result<f64> {
         // d^T A^{-1} d = || L^{-1} d ||^2
         let y = solve_lower_triangular(&self.l, d)?;
-        Ok(y.dot(&y)?)
+        y.dot(&y)
     }
 
     /// Reconstructs `A = L L^T` (mostly for testing and diagnostics).

@@ -144,7 +144,11 @@ impl Lu {
 
     /// Determinant of the factorised matrix.
     pub fn determinant(&self) -> f64 {
-        let mut det = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let mut det = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..self.dim() {
             det *= self.lu[(i, i)];
         }

@@ -29,9 +29,7 @@ impl Vector {
 
     /// Creates a zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        Self {
-            data: vec![0.0; n],
-        }
+        Self { data: vec![0.0; n] }
     }
 
     /// Creates a vector of length `n` filled with `value`.
@@ -47,9 +45,9 @@ impl Vector {
     }
 
     /// Builds a vector by evaluating `f` at indices `0..n`.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
         Self {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 

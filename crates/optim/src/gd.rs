@@ -39,7 +39,7 @@ impl Default for GradientDescentConfig {
 impl GradientDescentConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), OptimError> {
-        if !(self.learning_rate > 0.0) || !self.learning_rate.is_finite() {
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
             return Err(OptimError::InvalidConfig {
                 what: "learning_rate must be finite and > 0",
                 value: self.learning_rate,

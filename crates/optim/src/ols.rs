@@ -62,7 +62,11 @@ impl LinearRegression {
         }
 
         // Design matrix with a leading intercept column.
-        let x = Matrix::from_fn(n, p + 1, |i, j| if j == 0 { 1.0 } else { features[i][j - 1] });
+        let x = Matrix::from_fn(
+            n,
+            p + 1,
+            |i, j| if j == 0 { 1.0 } else { features[i][j - 1] },
+        );
         let y = Vector::from_slice(targets);
         let xt = x.transpose();
         let gram = xt.matmul(&x).map_err(to_optim)?;
@@ -230,7 +234,12 @@ mod tests {
 
     #[test]
     fn short_feature_rows_are_padded_with_zeros() {
-        let features = vec![vec![1.0, 1.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![1.0, 3.0]];
+        let features = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 0.0],
+            vec![0.0, 2.0],
+            vec![1.0, 3.0],
+        ];
         let targets = vec![2.0, 2.0, 2.0, 4.0];
         let model = LinearRegression::fit(&features, &targets).unwrap();
         // Missing second feature treated as zero.

@@ -31,13 +31,13 @@ pub fn golden_section_minimize(
     hi: f64,
     tol: f64,
 ) -> Result<ScalarMinimum, OptimError> {
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(OptimError::InvalidConfig {
             what: "golden-section bracket must be finite with lo < hi",
             value: hi - lo,
         });
     }
-    if !(tol > 0.0) {
+    if tol.is_nan() || tol <= 0.0 {
         return Err(OptimError::InvalidConfig {
             what: "golden-section tolerance must be > 0",
             value: tol,
@@ -181,8 +181,8 @@ mod tests {
     #[test]
     fn newton_polish_improves_precision() {
         let f = |x: f64| (x - 1.234_567).powi(2);
-        let coarse = golden_section_minimize(&f, 0.0, 3.0, 1e-2).unwrap();
-        let polished = newton_polish(&f, coarse.x, 0.0, 3.0, 10);
+        let coarse = golden_section_minimize(f, 0.0, 3.0, 1e-2).unwrap();
+        let polished = newton_polish(f, coarse.x, 0.0, 3.0, 10);
         assert!((polished.x - 1.234_567).abs() < 1e-7);
         assert!(polished.value <= coarse.value + 1e-15);
     }
@@ -217,7 +217,12 @@ mod tests {
             (p - target).powi(2)
         };
         let m = minimize_scalar(f, -5.0, 5.0, 1e-8).unwrap();
-        let expected = (target / (1.0 - target) as f64).ln() / (k + 1.0_f64).ln();
-        assert!((m.x - expected).abs() < 1e-4, "got {} want {}", m.x, expected);
+        let expected = (target / (1.0 - target)).ln() / (k + 1.0_f64).ln();
+        assert!(
+            (m.x - expected).abs() < 1e-4,
+            "got {} want {}",
+            m.x,
+            expected
+        );
     }
 }

@@ -30,7 +30,11 @@ impl WorkerSelector for LiEtAl {
         "Li et al."
     }
 
-    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+    fn select(
+        &self,
+        platform: &mut Platform,
+        k: usize,
+    ) -> Result<SelectionOutcome, SelectionError> {
         let workers = platform.worker_ids();
         if workers.is_empty() {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
@@ -79,10 +83,7 @@ impl WorkerSelector for LiEtAl {
                     .unwrap_or(0.0)
             })
             .collect();
-        Ok(
-            SelectionOutcome::new(selected, 1, platform.budget_spent())
-                .with_scores(scores),
-        )
+        Ok(SelectionOutcome::new(selected, 1, platform.budget_spent()).with_scores(scores))
     }
 }
 
@@ -111,7 +112,11 @@ mod tests {
         let outcome = LiEtAl::new().select(&mut platform, 5).unwrap();
         let truths = platform.true_accuracies();
         let selected_mean = c4u_stats::mean(
-            &outcome.selected.iter().map(|&w| truths[w]).collect::<Vec<_>>(),
+            &outcome
+                .selected
+                .iter()
+                .map(|&w| truths[w])
+                .collect::<Vec<_>>(),
         );
         assert!(selected_mean > c4u_stats::mean(&truths));
     }

@@ -28,7 +28,11 @@ impl WorkerSelector for MedianEliminationBaseline {
         "ME"
     }
 
-    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+    fn select(
+        &self,
+        platform: &mut Platform,
+        k: usize,
+    ) -> Result<SelectionOutcome, SelectionError> {
         let pool: Vec<WorkerId> = platform.worker_ids();
         if pool.is_empty() {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
@@ -131,7 +135,11 @@ mod tests {
             .unwrap();
         let truths = platform.true_accuracies();
         let selected_mean = c4u_stats::mean(
-            &outcome.selected.iter().map(|&w| truths[w]).collect::<Vec<_>>(),
+            &outcome
+                .selected
+                .iter()
+                .map(|&w| truths[w])
+                .collect::<Vec<_>>(),
         );
         let pool_mean = c4u_stats::mean(&truths);
         assert!(selected_mean > pool_mean);

@@ -29,7 +29,11 @@ impl WorkerSelector for GroundTruthOracle {
         "Ground Truth"
     }
 
-    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+    fn select(
+        &self,
+        platform: &mut Platform,
+        k: usize,
+    ) -> Result<SelectionOutcome, SelectionError> {
         let pool: Vec<WorkerId> = platform.worker_ids();
         if pool.is_empty() {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
@@ -85,7 +89,11 @@ mod tests {
         // pool average comfortably.
         let truths = platform.true_accuracies();
         let selected_mean = c4u_stats::mean(
-            &outcome.selected.iter().map(|&w| truths[w]).collect::<Vec<_>>(),
+            &outcome
+                .selected
+                .iter()
+                .map(|&w| truths[w])
+                .collect::<Vec<_>>(),
         );
         assert!(selected_mean > c4u_stats::mean(&truths) + 0.05);
         assert!(outcome.budget_spent <= platform.budget_total());

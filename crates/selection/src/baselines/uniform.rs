@@ -26,7 +26,11 @@ impl WorkerSelector for UniformSampling {
         "US"
     }
 
-    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+    fn select(
+        &self,
+        platform: &mut Platform,
+        k: usize,
+    ) -> Result<SelectionOutcome, SelectionError> {
         let workers = platform.worker_ids();
         if workers.is_empty() {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
@@ -55,10 +59,7 @@ impl WorkerSelector for UniformSampling {
                     .unwrap_or(0.0)
             })
             .collect();
-        Ok(
-            SelectionOutcome::new(selected, 1, platform.budget_spent())
-                .with_scores(scores),
-        )
+        Ok(SelectionOutcome::new(selected, 1, platform.budget_spent()).with_scores(scores))
     }
 }
 

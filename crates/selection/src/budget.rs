@@ -27,7 +27,11 @@ pub struct BudgetPlan {
 impl BudgetPlan {
     /// Builds a plan; `pool_size`, `select_k` and `total_budget` must all be positive
     /// and `select_k <= pool_size`.
-    pub fn new(pool_size: usize, select_k: usize, total_budget: usize) -> Result<Self, SelectionError> {
+    pub fn new(
+        pool_size: usize,
+        select_k: usize,
+        total_budget: usize,
+    ) -> Result<Self, SelectionError> {
         if pool_size == 0 {
             return Err(SelectionError::InvalidConfig {
                 what: "pool_size must be >= 1",

@@ -62,7 +62,7 @@ impl Default for CpeConfig {
             quadrature_order: 32,
             min_variance: 1e-4,
             use_posterior_prediction: true,
-            correlation_seed: 0xC4_EE,
+            correlation_seed: 21,
         }
     }
 }
@@ -70,7 +70,11 @@ impl Default for CpeConfig {
 impl CpeConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SelectionError> {
-        if !(self.mean_learning_rate > 0.0) || !(self.covariance_learning_rate > 0.0) {
+        if self.mean_learning_rate.is_nan()
+            || self.mean_learning_rate <= 0.0
+            || self.covariance_learning_rate.is_nan()
+            || self.covariance_learning_rate <= 0.0
+        {
             return Err(SelectionError::InvalidConfig {
                 what: "learning rates must be > 0",
                 value: self.mean_learning_rate.min(self.covariance_learning_rate),
@@ -94,7 +98,7 @@ impl CpeConfig {
                 value: self.quadrature_order as f64,
             });
         }
-        if !(self.min_variance > 0.0) {
+        if self.min_variance.is_nan() || self.min_variance <= 0.0 {
             return Err(SelectionError::InvalidConfig {
                 what: "min_variance must be > 0",
                 value: self.min_variance,
@@ -152,11 +156,7 @@ impl CrossDomainEstimator {
         if profiles.is_empty() {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
         }
-        let d = profiles
-            .iter()
-            .map(|p| p.num_domains())
-            .max()
-            .unwrap_or(0);
+        let d = profiles.iter().map(|p| p.num_domains()).max().unwrap_or(0);
         if d == 0 {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
         }
@@ -164,10 +164,7 @@ impl CrossDomainEstimator {
         let mut means = Vec::with_capacity(d + 1);
         let mut stds = Vec::with_capacity(d + 1);
         for domain in 0..d {
-            let values: Vec<f64> = profiles
-                .iter()
-                .filter_map(|p| p.accuracy(domain))
-                .collect();
+            let values: Vec<f64> = profiles.iter().filter_map(|p| p.accuracy(domain)).collect();
             let m = if values.is_empty() {
                 config.initial_target_accuracy
             } else {
@@ -289,10 +286,7 @@ impl CrossDomainEstimator {
                 // Negative log-likelihood of the unpacked parameters; non-finite
                 // values are mapped to a large penalty so the numerical gradient
                 // stays usable near the PSD boundary.
-                match self.objective_at(p, observations) {
-                    Ok(v) => v,
-                    Err(_) => 1e12,
-                }
+                self.objective_at(p, observations).unwrap_or(1e12)
             };
             let grad = gradient_with_step(objective, &params, 1e-5);
 
@@ -344,8 +338,7 @@ impl CrossDomainEstimator {
         } else {
             (0.0, 0.0)
         };
-        let (log_z, posterior_mean) =
-            self.binomial_normal_moments(cond.mean, cond.std_dev(), c, x);
+        let (log_z, posterior_mean) = self.binomial_normal_moments(cond.mean, cond.std_dev(), c, x);
         if !log_z.is_finite() || !posterior_mean.is_finite() {
             return Err(SelectionError::Numerical(
                 "CPE prediction integral did not converge".to_string(),
@@ -371,7 +364,8 @@ impl CrossDomainEstimator {
         let log_integrand = |h: f64| {
             let h = h.clamp(1e-12, 1.0 - 1e-12);
             let z = (h - mu) / sigma;
-            c * h.ln() + x * (1.0 - h).ln() - 0.5 * z * z
+            c * h.ln() + x * (1.0 - h).ln()
+                - 0.5 * z * z
                 - sigma.ln()
                 - 0.5 * (2.0 * std::f64::consts::PI).ln()
         };
@@ -558,8 +552,10 @@ mod tests {
 
     #[test]
     fn prior_only_prediction_ignores_answers() {
-        let mut config = CpeConfig::default();
-        config.use_posterior_prediction = false;
+        let config = CpeConfig {
+            use_posterior_prediction: false,
+            ..Default::default()
+        };
         let profiles = profiles();
         let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
         let est = CrossDomainEstimator::from_profiles(&refs, config).unwrap();
@@ -603,12 +599,14 @@ mod tests {
     fn update_improves_log_likelihood() {
         let profiles = profiles();
         let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
-        let mut config = CpeConfig::default();
         // Larger learning rates and fewer epochs keep the test fast while still
         // demonstrating likelihood ascent.
-        config.mean_learning_rate = 1e-4;
-        config.covariance_learning_rate = 1e-4;
-        config.epochs = 10;
+        let config = CpeConfig {
+            mean_learning_rate: 1e-4,
+            covariance_learning_rate: 1e-4,
+            epochs: 10,
+            ..Default::default()
+        };
         let mut est = CrossDomainEstimator::from_profiles(&refs, config).unwrap();
         // Evidence: the strong-profile workers also answer well, the weak ones badly.
         let observations: Vec<CpeObservation> = profiles
@@ -628,9 +626,7 @@ mod tests {
         );
         // The model stays usable after the update.
         assert!(est.model().is_ok());
-        let p = est
-            .predict(&observations[0])
-            .unwrap();
+        let p = est.predict(&observations[0]).unwrap();
         assert!((0.0..=1.0).contains(&p));
     }
 
@@ -650,7 +646,7 @@ mod tests {
             correct: 140,
             wrong: 2,
         };
-        let ll = est.log_likelihood(&[obs.clone()]).unwrap();
+        let ll = est.log_likelihood(std::slice::from_ref(&obs)).unwrap();
         assert!(ll.is_finite());
         let p = est.predict(&obs).unwrap();
         assert!(p > 0.8, "prediction {p} should reflect the strong record");

@@ -99,8 +99,7 @@ mod tests {
     fn conversions_from_substrates() {
         let e: SelectionError = c4u_crowd_sim::SimError::UnknownWorker { id: 3 }.into();
         assert!(matches!(e, SelectionError::Simulator(_)));
-        let e: SelectionError =
-            c4u_stats::StatsError::NotEnoughData { needed: 1, got: 0 }.into();
+        let e: SelectionError = c4u_stats::StatsError::NotEnoughData { needed: 1, got: 0 }.into();
         assert!(matches!(e, SelectionError::Numerical(_)));
         let e: SelectionError = c4u_optim::OptimError::RankDeficient.into();
         assert!(matches!(e, SelectionError::Numerical(_)));

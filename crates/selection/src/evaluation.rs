@@ -91,37 +91,31 @@ pub fn evaluate_strategy_with_k(
 }
 
 /// Runs one strategy over several answering-noise seeds and aggregates the results.
+///
+/// Trials are independent (each builds its own [`Platform`] from the shared
+/// dataset), so they are fanned out across threads by the default
+/// [`EvalEngine`](crate::EvalEngine); results are identical to a sequential
+/// run ([`EvalEngine::sequential`](crate::EvalEngine::sequential) pins that
+/// down when single-threaded execution is required).
 pub fn evaluate_over_trials(
     dataset: &Dataset,
     strategy: &dyn WorkerSelector,
     seeds: &[u64],
 ) -> Result<AggregatedResult, SelectionError> {
-    if seeds.is_empty() {
-        return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
-    }
-    let mut accuracies = Vec::with_capacity(seeds.len());
-    for &seed in seeds {
-        accuracies.push(evaluate_strategy(dataset, strategy, seed)?.working_accuracy);
-    }
-    Ok(AggregatedResult {
-        strategy: strategy.name().to_string(),
-        dataset: dataset.config.name.clone(),
-        mean_accuracy: c4u_stats::mean(&accuracies),
-        std_accuracy: c4u_stats::std_dev(&accuracies),
-        trials: seeds.len(),
-    })
+    crate::EvalEngine::default().evaluate_over_trials(dataset, strategy, seeds)
 }
 
 /// Runs a set of strategies on the same dataset and seed (one Table V column).
+///
+/// Strategies are fanned out across threads by the default
+/// [`EvalEngine`](crate::EvalEngine); each runs on its own fresh platform, so
+/// the results are identical to a sequential loop, in strategy order.
 pub fn evaluate_all(
     dataset: &Dataset,
     strategies: &[&dyn WorkerSelector],
     seed: u64,
 ) -> Result<Vec<EvaluationResult>, SelectionError> {
-    strategies
-        .iter()
-        .map(|s| evaluate_strategy(dataset, *s, seed))
-        .collect()
+    crate::EvalEngine::default().evaluate_all(dataset, strategies, seed)
 }
 
 /// Relative improvement of `ours` over `baseline`, in percent — the parenthesised

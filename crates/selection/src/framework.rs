@@ -16,15 +16,19 @@
 //! workers survived, per Algorithm 4 line 17).
 
 use crate::budget::BudgetPlan;
-use crate::cpe::{CpeConfig, CpeObservation, CrossDomainEstimator};
-use crate::lge::{LearningGainEstimator, LgeConfig, LgeWorkerInput};
+use crate::cpe::CpeConfig;
 use crate::me::{median_eliminate, top_k, ScoredWorker};
 use crate::selector::{SelectionOutcome, WorkerSelector};
+use crate::stage::{num_prior_domains, RoundInput, StageInit, StagePipeline};
 use crate::SelectionError;
-use c4u_crowd_sim::{Platform, WorkerId};
+use c4u_crowd_sim::{HistoricalProfile, Platform, WorkerId};
 use std::collections::HashMap;
 
 /// Which estimation components the pipeline uses.
+///
+/// The two presets map to the canonical [`StagePipeline`] compositions
+/// ([`StagePipeline::cpe_and_lge`] and [`StagePipeline::cpe_only`]); arbitrary
+/// stage compositions go through [`CrossDomainSelector::with_pipeline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimationMode {
     /// CPE + LGE (the full method, "Ours" in the paper's tables).
@@ -102,22 +106,50 @@ pub struct PipelineReport {
 }
 
 /// The cross-domain-aware worker selector with training.
+///
+/// Holds an estimation [`StagePipeline`] as a *template*: every [`Self::run`]
+/// clones it and re-initialises the clone on the run's worker pool, so a single
+/// selector value can be shared across threads (the parallel evaluation engine
+/// relies on this).
 #[derive(Debug, Clone)]
 pub struct CrossDomainSelector {
     config: SelectorConfig,
     name: String,
+    pipeline: StagePipeline,
 }
 
 impl CrossDomainSelector {
     /// Creates the full method ("Ours").
     pub fn new(config: SelectorConfig) -> Self {
-        let name = match config.mode {
-            EstimationMode::CpeAndLge => "Ours",
-            EstimationMode::CpeOnly => "ME-CPE",
+        let (name, pipeline) = match config.mode {
+            EstimationMode::CpeAndLge => ("Ours", StagePipeline::cpe_and_lge(config.cpe)),
+            EstimationMode::CpeOnly => ("ME-CPE", StagePipeline::cpe_only(config.cpe)),
         };
         Self {
             config,
             name: name.to_string(),
+            pipeline,
+        }
+    }
+
+    /// Creates a selector with a custom estimation-stage composition (new
+    /// ablations — LGE-only, IRT-backed stages, ... — are one-line pipelines).
+    /// `config.mode` is ignored; the supplied pipeline decides the stages.
+    ///
+    /// `config.cpe.initial_target_accuracy` is the `a_T` handed to **every**
+    /// stage through [`StageInit`] (LGE difficulty anchors, empty-domain
+    /// fallbacks). If a stage carries its own `CpeConfig`, build it from the
+    /// same value — e.g. `StagePipeline::cpe_and_lge(config.cpe)` — or the
+    /// stage-level and pipeline-level `a_T` will silently disagree.
+    pub fn with_pipeline(
+        config: SelectorConfig,
+        pipeline: StagePipeline,
+        name: impl Into<String>,
+    ) -> Self {
+        Self {
+            config,
+            name: name.into(),
+            pipeline,
         }
     }
 
@@ -136,6 +168,11 @@ impl CrossDomainSelector {
         &self.config
     }
 
+    /// The estimation-stage template this selector runs.
+    pub fn pipeline(&self) -> &StagePipeline {
+        &self.pipeline
+    }
+
     /// Runs the pipeline and returns the full report (outcome + diagnostics).
     pub fn run(&self, platform: &mut Platform, k: usize) -> Result<PipelineReport, SelectionError> {
         let pool: Vec<WorkerId> = platform.worker_ids();
@@ -150,32 +187,28 @@ impl CrossDomainSelector {
         }
         let plan = BudgetPlan::new(pool.len(), k, platform.budget_total())?;
 
-        // Initialise CPE from the historical profiles (Sec. V-C initialisation).
-        let profiles = platform.profiles();
-        let mut cpe = CrossDomainEstimator::from_profiles(&profiles, self.config.cpe)?;
-
-        // Per-prior-domain average accuracy for the LGE difficulty initialisation.
-        let d = cpe.num_prior_domains();
-        let prior_means: Vec<f64> = (0..d)
-            .map(|domain| {
-                let values: Vec<f64> = profiles.iter().filter_map(|p| p.accuracy(domain)).collect();
-                if values.is_empty() {
-                    self.config.cpe.initial_target_accuracy
-                } else {
-                    c4u_stats::mean(&values).clamp(0.05, 0.95)
-                }
-            })
+        // Initialise the estimation stages from the historical profiles
+        // (Sec. V-C initialisation): CPE builds its cross-domain model, LGE its
+        // per-domain difficulty anchors.
+        let mut pipeline = self.pipeline.clone();
+        let d;
+        {
+            let profiles = platform.profiles();
+            d = num_prior_domains(&profiles);
+            pipeline.initialize(&StageInit {
+                profiles: &profiles,
+                num_prior_domains: d,
+                initial_target_accuracy: self.config.cpe.initial_target_accuracy,
+            })?;
+        }
+        // Cumulative training schedule K_0, ..., K_n shared by all stages.
+        let cumulative_tasks: Vec<f64> = (0..=plan.rounds)
+            .map(|j| plan.cumulative_tasks_after_round(j))
             .collect();
-        let lge = LearningGainEstimator::new(LgeConfig::new(
-            self.config.cpe.initial_target_accuracy,
-            prior_means,
-        )?);
 
         let mut remaining = pool.clone();
         let mut delta = self.config.delta;
         let mut diagnostics = Vec::new();
-        // CPE estimate history per worker (p_{1,i}, ..., p_{c,i}).
-        let mut estimate_history: HashMap<WorkerId, Vec<f64>> = HashMap::new();
         let mut final_scores: Vec<ScoredWorker> = Vec::new();
         let mut previous_scores: Vec<ScoredWorker> = Vec::new();
 
@@ -183,65 +216,22 @@ impl CrossDomainSelector {
             let tasks_per_worker = plan.tasks_per_worker(remaining.len());
             let record = platform.assign_learning_batch(&remaining, tasks_per_worker)?;
 
-            // --- CPE (Algorithm 1) ---
-            let observations: Vec<CpeObservation> = record
+            // --- Estimation stages (Algorithms 1-2 in the canonical pipeline) ---
+            let profiles: Vec<&HistoricalProfile> = record
                 .sheets
                 .iter()
-                .map(|sheet| {
-                    let profile = platform.profile(sheet.worker)?;
-                    Ok(CpeObservation::from_profile(
-                        profile,
-                        sheet.correct(),
-                        sheet.wrong(),
-                    ))
-                })
-                .collect::<Result<_, SelectionError>>()?;
-            cpe.update(&observations)?;
-            let static_estimates = cpe.predict_batch(&observations)?;
-            for (sheet, &p) in record.sheets.iter().zip(static_estimates.iter()) {
-                estimate_history.entry(sheet.worker).or_default().push(p);
-            }
-
-            // --- LGE (Algorithm 2) ---
-            let dynamic_estimates = match self.config.mode {
-                EstimationMode::CpeOnly => static_estimates.clone(),
-                EstimationMode::CpeAndLge => {
-                    let mut estimates = Vec::with_capacity(remaining.len());
-                    for (sheet, &static_estimate) in
-                        record.sheets.iter().zip(static_estimates.iter())
-                    {
-                        let profile = platform.profile(sheet.worker)?;
-                        let history = estimate_history
-                            .get(&sheet.worker)
-                            .cloned()
-                            .unwrap_or_default();
-                        // The CPE estimate of stage j reflects a worker trained with
-                        // only j-1 rounds (Eq. 11), so the stage j estimate pairs with
-                        // K_{j-1}.
-                        let before: Vec<f64> = (0..history.len())
-                            .map(|j| plan.cumulative_tasks_after_round(j))
-                            .collect();
-                        // In the very first round every stage sits at K_0 = 0, where
-                        // the learning-gain curve is independent of alpha: the fitted
-                        // extrapolation would ignore the only target-domain evidence
-                        // available. Rank by the CPE estimate instead (the dynamic
-                        // and static estimates coincide until training has started).
-                        let has_informative_stage = before.iter().any(|&k| k > 0.0);
-                        if !has_informative_stage {
-                            estimates.push(static_estimate);
-                            continue;
-                        }
-                        let input = LgeWorkerInput::from_profile(
-                            profile,
-                            history,
-                            before,
-                            plan.cumulative_tasks_after_round(round),
-                        );
-                        estimates.push(lge.estimate(&input)?.predicted_accuracy);
-                    }
-                    estimates
-                }
-            };
+                .map(|sheet| platform.profile(sheet.worker))
+                .collect::<Result<_, _>>()?;
+            let estimates = pipeline.run_round(&RoundInput {
+                round,
+                total_rounds: plan.rounds,
+                delta,
+                sheets: &record.sheets,
+                profiles: &profiles,
+                cumulative_tasks: &cumulative_tasks,
+            })?;
+            let static_estimates = estimates.first().to_vec();
+            let dynamic_estimates = estimates.last().to_vec();
 
             // --- ME (Algorithm 3) ---
             let scored: Vec<ScoredWorker> = record
@@ -296,9 +286,11 @@ impl CrossDomainSelector {
             .map(|w| score_lookup.get(w).copied().unwrap_or(0.0))
             .collect();
 
-        let target_correlations = (0..d)
-            .map(|domain| cpe.target_correlation(domain))
-            .collect::<Result<Vec<f64>, SelectionError>>()?;
+        let target_correlations = match pipeline.target_correlations() {
+            Some(correlations) => correlations?,
+            None => Vec::new(),
+        };
+        debug_assert!(target_correlations.is_empty() || target_correlations.len() == d);
 
         Ok(PipelineReport {
             outcome: SelectionOutcome::new(selected, plan.rounds, platform.budget_spent())
@@ -314,7 +306,11 @@ impl WorkerSelector for CrossDomainSelector {
         &self.name
     }
 
-    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError> {
+    fn select(
+        &self,
+        platform: &mut Platform,
+        k: usize,
+    ) -> Result<SelectionOutcome, SelectionError> {
         Ok(self.run(platform, k)?.outcome)
     }
 }

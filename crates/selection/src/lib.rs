@@ -48,17 +48,20 @@
 mod baselines;
 mod budget;
 mod cpe;
+mod engine;
 mod error;
 mod evaluation;
 mod framework;
 mod lge;
 mod me;
 mod selector;
+mod stage;
 pub mod theory;
 
 pub use baselines::{GroundTruthOracle, LiEtAl, MedianEliminationBaseline, UniformSampling};
 pub use budget::BudgetPlan;
 pub use cpe::{CpeConfig, CpeObservation, CrossDomainEstimator};
+pub use engine::{run_indexed_jobs, EvalEngine};
 pub use error::SelectionError;
 pub use evaluation::{
     evaluate_all, evaluate_over_trials, evaluate_strategy, evaluate_strategy_with_k,
@@ -70,6 +73,13 @@ pub use framework::{
 pub use lge::{LearningGainEstimator, LgeConfig, LgeEstimate, LgeWorkerInput};
 pub use me::{median_eliminate, rounds_until_at_most, sort_by_score, top_k, ScoredWorker};
 pub use selector::{SelectionOutcome, WorkerSelector};
+pub use stage::{
+    num_prior_domains, CpeStage, EstimationStage, LgeStage, RoundContext, RoundEstimates,
+    RoundInput, StageInit, StagePipeline,
+};
 
-// Re-export the simulator types that appear in this crate's public API.
-pub use c4u_crowd_sim::{Dataset, DatasetConfig, Platform, WorkerId};
+// Re-export the simulator types that appear in this crate's public API
+// (AnswerSheet/HistoricalProfile are part of the stage-context types).
+pub use c4u_crowd_sim::{
+    AnswerSheet, Dataset, DatasetConfig, HistoricalProfile, Platform, WorkerId,
+};

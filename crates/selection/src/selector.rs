@@ -42,7 +42,12 @@ impl SelectionOutcome {
 }
 
 /// A worker-selection strategy.
-pub trait WorkerSelector {
+///
+/// Strategies are `Send + Sync` so the evaluation engine can share one
+/// strategy value across its trial threads; `select` takes `&self`, so any
+/// per-run state must be created inside the call (the core selector clones its
+/// stage-pipeline template per run for exactly this reason).
+pub trait WorkerSelector: Send + Sync {
     /// Short human-readable name used in result tables ("Ours", "US", "ME", ...).
     fn name(&self) -> &str;
 
@@ -52,7 +57,8 @@ pub trait WorkerSelector {
     /// budget are rejected by the platform itself) and must not consult the
     /// platform's oracle accessors (`true_accuracy*`) unless the strategy is
     /// explicitly an oracle baseline.
-    fn select(&self, platform: &mut Platform, k: usize) -> Result<SelectionOutcome, SelectionError>;
+    fn select(&self, platform: &mut Platform, k: usize)
+        -> Result<SelectionOutcome, SelectionError>;
 }
 
 #[cfg(test)]

@@ -15,13 +15,13 @@ use crate::SelectionError;
 /// Number of golden questions each remaining worker must answer in round `c` for the
 /// `(eps, delta)` guarantee of Theorem 1: `ceil( (2 / eps^2) * ln(3 / delta) )`.
 pub fn tasks_for_guarantee(epsilon: f64, delta: f64) -> Result<usize, SelectionError> {
-    if !(epsilon > 0.0) || epsilon > 1.0 {
+    if epsilon.is_nan() || epsilon <= 0.0 || epsilon > 1.0 {
         return Err(SelectionError::InvalidConfig {
             what: "epsilon must lie in (0, 1]",
             value: epsilon,
         });
     }
-    if !(delta > 0.0) || delta >= 1.0 {
+    if delta.is_nan() || delta <= 0.0 || delta >= 1.0 {
         return Err(SelectionError::InvalidConfig {
             what: "delta must lie in (0, 1)",
             value: delta,
@@ -47,7 +47,7 @@ pub fn epsilon_bound(
             value: 0.0,
         });
     }
-    if !(delta_c > 0.0) || delta_c >= 1.0 {
+    if delta_c.is_nan() || delta_c <= 0.0 || delta_c >= 1.0 {
         return Err(SelectionError::InvalidConfig {
             what: "delta_c must lie in (0, 1)",
             value: delta_c,
@@ -147,7 +147,9 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, &acc)| {
-                    let correct = Bernoulli::new(acc).unwrap().count_successes(&mut rng, tasks);
+                    let correct = Bernoulli::new(acc)
+                        .unwrap()
+                        .count_successes(&mut rng, tasks);
                     ScoredWorker::new(i, correct as f64 / tasks as f64)
                 })
                 .collect();

@@ -1,0 +1,288 @@
+//! Regression tests proving the stage refactor preserved the estimation
+//! pipeline's numerics **bit-for-bit**.
+//!
+//! `reference_pipeline` below is a literal transcription of the historical
+//! `CrossDomainSelector::run` body (CPE and LGE hard-wired inline in the round
+//! loop), written against the public estimator APIs. The tests run it and the
+//! stage-based selector on identical platforms and require exact `f64`
+//! equality of every per-round estimate, the survivor sets, the final
+//! selection, and the learned correlations — for both the full method
+//! (`StagePipeline([CpeStage, LgeStage])` vs. the old `CpeAndLge` arm) and the
+//! ME-CPE ablation (`CpeStage` alone vs. the old `CpeOnly` arm) on the RW-1
+//! surrogate dataset.
+
+use c4u_crowd_sim::{generate, DatasetConfig, Platform, WorkerId};
+use c4u_selection::{
+    median_eliminate, top_k, BudgetPlan, CpeConfig, CpeObservation, CpeStage, CrossDomainEstimator,
+    CrossDomainSelector, EstimationMode, LearningGainEstimator, LgeConfig, LgeStage,
+    LgeWorkerInput, ScoredWorker, SelectionError, SelectorConfig, StagePipeline,
+};
+use std::collections::HashMap;
+
+/// Per-round numbers the reference implementation exposes for comparison.
+struct ReferenceRound {
+    static_estimates: Vec<f64>,
+    dynamic_estimates: Vec<f64>,
+    survived: Vec<WorkerId>,
+}
+
+struct ReferenceReport {
+    rounds: Vec<ReferenceRound>,
+    selected: Vec<WorkerId>,
+    scores: Vec<f64>,
+    target_correlations: Vec<f64>,
+}
+
+/// The historical inline pipeline (Algorithm 4 with CPE/LGE hard-wired),
+/// kept verbatim as the ground truth for the stage refactor.
+fn reference_pipeline(
+    platform: &mut Platform,
+    k: usize,
+    config: &SelectorConfig,
+) -> Result<ReferenceReport, SelectionError> {
+    let pool: Vec<WorkerId> = platform.worker_ids();
+    let plan = BudgetPlan::new(pool.len(), k, platform.budget_total())?;
+
+    let profiles = platform.profiles();
+    let mut cpe = CrossDomainEstimator::from_profiles(&profiles, config.cpe)?;
+
+    let d = cpe.num_prior_domains();
+    let prior_means: Vec<f64> = (0..d)
+        .map(|domain| {
+            let values: Vec<f64> = profiles.iter().filter_map(|p| p.accuracy(domain)).collect();
+            if values.is_empty() {
+                config.cpe.initial_target_accuracy
+            } else {
+                c4u_stats::mean(&values).clamp(0.05, 0.95)
+            }
+        })
+        .collect();
+    let lge = LearningGainEstimator::new(LgeConfig::new(
+        config.cpe.initial_target_accuracy,
+        prior_means,
+    )?);
+    drop(profiles);
+
+    let mut remaining = pool.clone();
+    let mut rounds = Vec::new();
+    let mut estimate_history: HashMap<WorkerId, Vec<f64>> = HashMap::new();
+    let mut final_scores: Vec<ScoredWorker> = Vec::new();
+    let mut previous_scores: Vec<ScoredWorker> = Vec::new();
+
+    for round in 1..=plan.rounds {
+        let tasks_per_worker = plan.tasks_per_worker(remaining.len());
+        let record = platform.assign_learning_batch(&remaining, tasks_per_worker)?;
+
+        let observations: Vec<CpeObservation> = record
+            .sheets
+            .iter()
+            .map(|sheet| {
+                let profile = platform.profile(sheet.worker)?;
+                Ok(CpeObservation::from_profile(
+                    profile,
+                    sheet.correct(),
+                    sheet.wrong(),
+                ))
+            })
+            .collect::<Result<_, SelectionError>>()?;
+        cpe.update(&observations)?;
+        let static_estimates = cpe.predict_batch(&observations)?;
+        for (sheet, &p) in record.sheets.iter().zip(static_estimates.iter()) {
+            estimate_history.entry(sheet.worker).or_default().push(p);
+        }
+
+        let dynamic_estimates = match config.mode {
+            EstimationMode::CpeOnly => static_estimates.clone(),
+            EstimationMode::CpeAndLge => {
+                let mut estimates = Vec::with_capacity(remaining.len());
+                for (sheet, &static_estimate) in record.sheets.iter().zip(static_estimates.iter()) {
+                    let profile = platform.profile(sheet.worker)?;
+                    let history = estimate_history
+                        .get(&sheet.worker)
+                        .cloned()
+                        .unwrap_or_default();
+                    let before: Vec<f64> = (0..history.len())
+                        .map(|j| plan.cumulative_tasks_after_round(j))
+                        .collect();
+                    let has_informative_stage = before.iter().any(|&k| k > 0.0);
+                    if !has_informative_stage {
+                        estimates.push(static_estimate);
+                        continue;
+                    }
+                    let input = LgeWorkerInput::from_profile(
+                        profile,
+                        history,
+                        before,
+                        plan.cumulative_tasks_after_round(round),
+                    );
+                    estimates.push(lge.estimate(&input)?.predicted_accuracy);
+                }
+                estimates
+            }
+        };
+
+        let scored: Vec<ScoredWorker> = record
+            .sheets
+            .iter()
+            .zip(dynamic_estimates.iter())
+            .map(|(sheet, &score)| ScoredWorker::new(sheet.worker, score))
+            .collect();
+        let survivors = median_eliminate(&scored);
+
+        rounds.push(ReferenceRound {
+            static_estimates,
+            dynamic_estimates,
+            survived: survivors.clone(),
+        });
+
+        previous_scores = final_scores;
+        final_scores = scored;
+        remaining = survivors;
+    }
+
+    let surviving_scores: Vec<ScoredWorker> = final_scores
+        .iter()
+        .filter(|s| remaining.contains(&s.worker))
+        .copied()
+        .collect();
+    let selected = if remaining.len() >= k {
+        top_k(&surviving_scores, k)
+    } else {
+        let fallback: Vec<ScoredWorker> = if previous_scores.is_empty() {
+            final_scores.clone()
+        } else {
+            previous_scores.clone()
+        };
+        top_k(&fallback, k)
+    };
+    let score_lookup: HashMap<WorkerId, f64> = final_scores
+        .iter()
+        .chain(previous_scores.iter())
+        .map(|s| (s.worker, s.score))
+        .collect();
+    let scores: Vec<f64> = selected
+        .iter()
+        .map(|w| score_lookup.get(w).copied().unwrap_or(0.0))
+        .collect();
+
+    let target_correlations = (0..d)
+        .map(|domain| cpe.target_correlation(domain))
+        .collect::<Result<Vec<f64>, SelectionError>>()?;
+
+    Ok(ReferenceReport {
+        rounds,
+        selected,
+        scores,
+        target_correlations,
+    })
+}
+
+fn fast_config(mode: EstimationMode) -> SelectorConfig {
+    let mut config = SelectorConfig::default();
+    config.cpe.epochs = 3;
+    config.mode = mode;
+    config
+}
+
+/// Runs the reference and the stage-based selector on identical platforms and
+/// asserts exact equality of every exposed number. The reference uses the
+/// selector's own configuration (including its `mode`, which in the reference
+/// still drives the historical enum dispatch).
+fn assert_bit_for_bit(selector: &CrossDomainSelector, seed: u64) {
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let k = dataset.config.select_k;
+
+    let mut reference_platform = Platform::from_dataset(&dataset, seed).unwrap();
+    let reference = reference_pipeline(&mut reference_platform, k, selector.config()).unwrap();
+
+    let mut staged_platform = Platform::from_dataset(&dataset, seed).unwrap();
+    let staged = selector.run(&mut staged_platform, k).unwrap();
+
+    assert_eq!(staged.rounds.len(), reference.rounds.len());
+    for (new_round, old_round) in staged.rounds.iter().zip(reference.rounds.iter()) {
+        // Exact f64 equality: the refactor must not change a single bit.
+        assert_eq!(new_round.static_estimates, old_round.static_estimates);
+        assert_eq!(new_round.dynamic_estimates, old_round.dynamic_estimates);
+        assert_eq!(new_round.survived, old_round.survived);
+    }
+    assert_eq!(staged.outcome.selected, reference.selected);
+    assert_eq!(staged.outcome.scores, reference.scores);
+    assert_eq!(staged.target_correlations, reference.target_correlations);
+    // Both drove the platform identically.
+    assert_eq!(
+        staged_platform.budget_spent(),
+        reference_platform.budget_spent()
+    );
+}
+
+#[test]
+fn stage_pipeline_reproduces_cpe_and_lge_bit_for_bit() {
+    let selector = CrossDomainSelector::new(fast_config(EstimationMode::CpeAndLge));
+    assert_bit_for_bit(&selector, 11);
+}
+
+#[test]
+fn cpe_stage_alone_reproduces_cpe_only_bit_for_bit() {
+    let selector = CrossDomainSelector::new(fast_config(EstimationMode::CpeOnly));
+    assert_bit_for_bit(&selector, 11);
+}
+
+#[test]
+fn explicit_stage_composition_matches_the_mode_presets() {
+    // Composing the pipeline by hand (the extension path for new ablations)
+    // is exactly the preset the mode enum builds.
+    let config = fast_config(EstimationMode::CpeAndLge);
+    let by_hand = CrossDomainSelector::with_pipeline(
+        config.clone(),
+        StagePipeline::new(vec![
+            Box::new(CpeStage::new(config.cpe)),
+            Box::new(LgeStage::new()),
+        ])
+        .unwrap(),
+        "Ours",
+    );
+    assert_bit_for_bit(&by_hand, 23);
+
+    let ablation_config = fast_config(EstimationMode::CpeOnly);
+    let ablation = CrossDomainSelector::with_pipeline(
+        ablation_config.clone(),
+        StagePipeline::new(vec![Box::new(CpeStage::new(ablation_config.cpe))]).unwrap(),
+        "ME-CPE",
+    );
+    assert_bit_for_bit(&ablation, 23);
+}
+
+#[test]
+fn repeated_runs_of_one_selector_are_identical() {
+    // The selector holds its pipeline as a template; running it twice on
+    // identical platforms must not leak state between runs.
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let selector = CrossDomainSelector::new(fast_config(EstimationMode::CpeAndLge));
+    let k = dataset.config.select_k;
+    let first = selector
+        .run(&mut Platform::from_dataset(&dataset, 31).unwrap(), k)
+        .unwrap();
+    let second = selector
+        .run(&mut Platform::from_dataset(&dataset, 31).unwrap(), k)
+        .unwrap();
+    assert_eq!(first.outcome.selected, second.outcome.selected);
+    assert_eq!(first.outcome.scores, second.outcome.scores);
+    assert_eq!(first.rounds, second.rounds);
+}
+
+#[test]
+fn fewer_configured_cpe_epochs_still_match() {
+    // Equivalence holds for non-default estimator settings too (guards against
+    // the stage accidentally hard-coding config).
+    let mut config = fast_config(EstimationMode::CpeAndLge);
+    config.cpe.epochs = 1;
+    config.cpe.initial_target_accuracy = 0.4;
+    let cpe_config = CpeConfig {
+        epochs: 1,
+        initial_target_accuracy: 0.4,
+        ..Default::default()
+    };
+    assert_eq!(config.cpe, cpe_config);
+    let selector = CrossDomainSelector::new(config);
+    assert_bit_for_bit(&selector, 7);
+}

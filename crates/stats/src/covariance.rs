@@ -26,7 +26,11 @@ pub fn sample_covariance(samples: &[Vec<f64>]) -> Result<Matrix, StatsError> {
         return Err(StatsError::DimensionMismatch {
             what: "all observations must have the same dimension",
             left: d,
-            right: samples.iter().map(|s| s.len()).find(|&l| l != d).unwrap_or(d),
+            right: samples
+                .iter()
+                .map(|s| s.len())
+                .find(|&l| l != d)
+                .unwrap_or(d),
         });
     }
     let means: Vec<f64> = (0..d)
@@ -137,7 +141,11 @@ pub fn nearest_positive_definite(m: &Matrix, min_variance: f64) -> Result<Matrix
             repaired = candidate;
             return Ok(repaired);
         }
-        jitter = if jitter == 0.0 { base * 1e-10 } else { jitter * 10.0 };
+        jitter = if jitter == 0.0 {
+            base * 1e-10
+        } else {
+            jitter * 10.0
+        };
     }
     Err(StatsError::Numerical(
         "could not repair matrix into the PSD cone".to_string(),

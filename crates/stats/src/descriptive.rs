@@ -159,7 +159,7 @@ impl Histogram {
                 value: 0.0,
             });
         }
-        if !(lower < upper) {
+        if lower.is_nan() || upper.is_nan() || lower >= upper {
             return Err(StatsError::InvalidParameter {
                 what: "histogram bounds must satisfy lower < upper",
                 value: upper - lower,
@@ -261,7 +261,9 @@ mod tests {
     #[test]
     fn moments() {
         assert!((mean(&DATA) - 26.0 / 6.0).abs() < 1e-12);
-        assert!((population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert!(
+            (population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12
+        );
         assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
         assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);

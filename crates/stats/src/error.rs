@@ -49,7 +49,10 @@ impl fmt::Display for StatsError {
                 write!(f, "dimension mismatch: {what} ({left} vs {right})")
             }
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "paired samples have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "paired samples have different lengths ({left} vs {right})"
+                )
             }
             StatsError::NotEnoughData { needed, got } => {
                 write!(f, "not enough data: needed {needed}, got {got}")

@@ -103,7 +103,7 @@ impl MultivariateNormal {
             });
         }
         for (i, &s) in std_devs.iter().enumerate() {
-            if !(s > 0.0) || !s.is_finite() {
+            if s <= 0.0 || !s.is_finite() {
                 return Err(StatsError::InvalidParameter {
                     what: "standard deviations must be finite and > 0",
                     value: std_devs[i],
@@ -271,7 +271,9 @@ impl MultivariateNormal {
             .submatrix(given_idx, given_idx)
             .map_err(|e| StatsError::Numerical(e.to_string()))?;
         let sigma_tg = Vector::from_fn(given_idx.len(), |j| self.cov[(target, given_idx[j])]);
-        let diff = Vector::from_fn(given_idx.len(), |j| given_values[j] - self.mean[given_idx[j]]);
+        let diff = Vector::from_fn(given_idx.len(), |j| {
+            given_values[j] - self.mean[given_idx[j]]
+        });
 
         let chol_gg = Cholesky::new_with_jitter(&sigma_gg, 1e-10, 12)
             .map_err(|e| StatsError::Numerical(e.to_string()))?;
@@ -319,12 +321,10 @@ mod tests {
         let mut bad = Matrix::identity(2);
         bad[(0, 0)] = f64::NAN;
         assert!(MultivariateNormal::new(Vector::zeros(2), bad).is_err());
-        assert!(MultivariateNormal::from_correlations(
-            &[0.5, 0.5],
-            &[0.1],
-            &Matrix::identity(2)
-        )
-        .is_err());
+        assert!(
+            MultivariateNormal::from_correlations(&[0.5, 0.5], &[0.1], &Matrix::identity(2))
+                .is_err()
+        );
         assert!(MultivariateNormal::from_correlations(
             &[0.5, 0.5],
             &[0.1, 0.0],
@@ -420,9 +420,7 @@ mod tests {
     fn conditioning_reduces_variance_with_positive_correlation() {
         let mvn = example_mvn();
         let marginal = mvn.condition_on(3, &[], &[]).unwrap();
-        let cond = mvn
-            .condition_on(3, &[0, 1, 2], &[0.9, 0.95, 0.8])
-            .unwrap();
+        let cond = mvn.condition_on(3, &[0, 1, 2], &[0.9, 0.95, 0.8]).unwrap();
         assert!(cond.variance < marginal.variance);
         // A strong profile should pull the conditional mean above the marginal mean.
         assert!(cond.mean > marginal.mean);
@@ -438,8 +436,7 @@ mod tests {
         // Var[Y|X=x] = sigma_y^2 (1 - rho^2).
         let (mu_x, mu_y, sx, sy, rho) = (0.6, 0.5, 0.2, 0.15, 0.7);
         let corr = Matrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { rho });
-        let mvn =
-            MultivariateNormal::from_correlations(&[mu_x, mu_y], &[sx, sy], &corr).unwrap();
+        let mvn = MultivariateNormal::from_correlations(&[mu_x, mu_y], &[sx, sy], &corr).unwrap();
         let x_obs = 0.9;
         let cond = mvn.condition_on(1, &[0], &[x_obs]).unwrap();
         let expected_mean = mu_y + rho * sy / sx * (x_obs - mu_x);

@@ -117,7 +117,7 @@ impl TruncatedNormal {
     /// Creates a truncated normal; requires `lower < upper` and a valid parent.
     pub fn new(mean: f64, std_dev: f64, lower: f64, upper: f64) -> Result<Self, StatsError> {
         let parent = Normal::new(mean, std_dev)?;
-        if !(lower < upper) || !lower.is_finite() || !upper.is_finite() {
+        if lower >= upper || !lower.is_finite() || !upper.is_finite() {
             return Err(StatsError::InvalidParameter {
                 what: "truncation bounds must be finite with lower < upper",
                 value: upper - lower,
@@ -244,7 +244,7 @@ pub struct Uniform {
 impl Uniform {
     /// Creates a uniform distribution; requires `lower < upper`.
     pub fn new(lower: f64, upper: f64) -> Result<Self, StatsError> {
-        if !(lower < upper) || !lower.is_finite() || !upper.is_finite() {
+        if lower >= upper || !lower.is_finite() || !upper.is_finite() {
             return Err(StatsError::InvalidParameter {
                 what: "uniform bounds must be finite with lower < upper",
                 value: upper - lower,
@@ -354,7 +354,11 @@ mod tests {
         let mut r = rng();
         let samples = t.sample_n(&mut r, 30_000);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean - t.mean()).abs() < 0.01, "sample {mean} formula {}", t.mean());
+        assert!(
+            (mean - t.mean()).abs() < 0.01,
+            "sample {mean} formula {}",
+            t.mean()
+        );
     }
 
     #[test]
@@ -368,7 +372,10 @@ mod tests {
         let rate = successes as f64 / 10_000.0;
         assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
         assert_eq!(Bernoulli::new(0.0).unwrap().count_successes(&mut r, 100), 0);
-        assert_eq!(Bernoulli::new(1.0).unwrap().count_successes(&mut r, 100), 100);
+        assert_eq!(
+            Bernoulli::new(1.0).unwrap().count_successes(&mut r, 100),
+            100
+        );
     }
 
     #[test]

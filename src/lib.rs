@@ -1,0 +1,29 @@
+//! # c4u — cross-domain-aware crowd worker selection
+//!
+//! Facade crate of the C4U workspace, a from-scratch Rust reproduction of the
+//! ICDE 2024 paper on selecting and training crowd workers for a new target
+//! domain (CPE + LGE + ME, Algorithms 1–4).
+//!
+//! The actual implementation lives in the per-layer crates, re-exported here:
+//!
+//! * [`linalg`] — dense vectors/matrices, LU, Cholesky;
+//! * [`stats`] — descriptive stats, quadrature, (truncated) multivariate normals;
+//! * [`optim`] — numerical gradients, gradient descent, OLS, scalar minimisation;
+//! * [`irt`] — Rasch items, learning-gain curves, alpha calibration;
+//! * [`crowd_sim`] — dataset generator and the simulated crowdsourcing platform;
+//! * [`selection`] — CPE/LGE/ME stages, the stage pipeline, baselines, and the
+//!   parallel evaluation engine.
+//!
+//! The `examples/` directory holds runnable end-to-end walkthroughs and the
+//! `tests/` directory the cross-crate integration suite; see the workspace
+//! `README.md` for the full layout.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use c4u_crowd_sim as crowd_sim;
+pub use c4u_irt as irt;
+pub use c4u_linalg as linalg;
+pub use c4u_optim as optim;
+pub use c4u_selection as selection;
+pub use c4u_stats as stats;

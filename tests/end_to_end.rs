@@ -72,7 +72,10 @@ fn pipeline_respects_the_budget_plan_schedule() {
     for (i, round) in report.rounds.iter().enumerate() {
         let expected_workers = plan.workers_at_round(i + 1);
         assert_eq!(round.entered.len(), expected_workers);
-        assert_eq!(round.tasks_per_worker, plan.tasks_per_worker(expected_workers));
+        assert_eq!(
+            round.tasks_per_worker,
+            plan.tasks_per_worker(expected_workers)
+        );
     }
     assert!(platform.budget_spent() <= platform.budget_total());
 }
@@ -87,10 +90,7 @@ fn trained_selection_is_deterministic_per_seed() {
     let c = evaluate_strategy(&dataset, &fast_ours(), 78).unwrap();
     // A different answering-noise seed may change the outcome (not necessarily, but
     // the accuracy is evaluated on different draws, so it differs almost surely).
-    assert!(
-        (a.working_accuracy - c.working_accuracy).abs() > 1e-12
-            || a.selected != c.selected
-    );
+    assert!((a.working_accuracy - c.working_accuracy).abs() > 1e-12 || a.selected != c.selected);
 }
 
 #[test]

@@ -51,7 +51,9 @@ fn full_pipeline_runs_with_gappy_profiles() {
     let mut config = SelectorConfig::default();
     config.cpe.epochs = 5;
     let selector = CrossDomainSelector::new(config);
-    let report = selector.run(&mut platform, dataset.config.select_k).unwrap();
+    let report = selector
+        .run(&mut platform, dataset.config.select_k)
+        .unwrap();
     assert_eq!(report.outcome.selected.len(), dataset.config.select_k);
     // Workers with gaps are not excluded a priori: at least one of them should have
     // survived into the second round in this configuration (sanity check that the

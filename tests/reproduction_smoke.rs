@@ -45,9 +45,21 @@ fn table4_moments_and_consistency() {
     let row = moments_row(&rw1);
     // Generated moments track the configured Table IV values (loose bounds: the
     // observed profiles are binomial draws over 10 tasks each).
-    assert!((row.prior[0].0 - 0.70).abs() < 0.12, "prior-1 mean {}", row.prior[0].0);
-    assert!((row.prior[1].0 - 0.88).abs() < 0.12, "prior-2 mean {}", row.prior[1].0);
-    assert!((row.target.0 - 0.55).abs() < 0.12, "target mean {}", row.target.0);
+    assert!(
+        (row.prior[0].0 - 0.70).abs() < 0.12,
+        "prior-1 mean {}",
+        row.prior[0].0
+    );
+    assert!(
+        (row.prior[1].0 - 0.88).abs() < 0.12,
+        "prior-2 mean {}",
+        row.prior[1].0
+    );
+    assert!(
+        (row.target.0 - 0.55).abs() < 0.12,
+        "target mean {}",
+        row.target.0
+    );
 
     // Consistency against a synthetic dataset is computable and bounded.
     let s1 = generate(&DatasetConfig::s1()).unwrap();
@@ -73,7 +85,12 @@ fn estimated_correlations_are_reported_per_prior_domain() {
         assert!((-1.0..=1.0).contains(rho));
     }
     assert!(
-        report.target_correlations.iter().filter(|r| **r >= 0.0).count() >= 2,
+        report
+            .target_correlations
+            .iter()
+            .filter(|r| **r >= 0.0)
+            .count()
+            >= 2,
         "most learned correlations should be non-negative: {:?}",
         report.target_correlations
     );
@@ -97,7 +114,11 @@ fn theorem_helpers_scale_as_stated() {
 
 #[test]
 fn budget_is_never_exceeded_across_presets() {
-    for config in [DatasetConfig::rw1(), DatasetConfig::rw2(), DatasetConfig::s1()] {
+    for config in [
+        DatasetConfig::rw1(),
+        DatasetConfig::rw2(),
+        DatasetConfig::s1(),
+    ] {
         let dataset = generate(&config).unwrap();
         let mut platform = Platform::from_dataset(&dataset, 6).unwrap();
         let mut sel_config = SelectorConfig::default();

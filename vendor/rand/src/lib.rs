@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment of this workspace has no access to crates.io, so this
+//! crate vendors the *small, deterministic* subset of the `rand` API that the
+//! C4U sources actually use:
+//!
+//! * [`Rng`] with `gen::<f64>()` (uniform in `[0, 1)`), `gen::<bool>()` and
+//!   `gen::<u64>()`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`], a xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The generator is *not* the one shipped by the real `rand` crate (ChaCha12),
+//! so absolute random streams differ from upstream — but every consumer in this
+//! workspace only relies on *reproducibility for a fixed seed*, which this
+//! implementation guarantees: the same seed always yields the same sequence, on
+//! every platform, forever.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Types drawn uniformly by [`Rng::gen`] (the "standard" distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Use the top bit: the low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// A random-number generator.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard distribution (uniform
+    /// `[0, 1)` for floats, fair coin for `bool`, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. The same seed always produces
+    /// the same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++ with
+    /// SplitMix64 state expansion (Blackman & Vigna). Passes BigCrush; more
+    /// than adequate for simulation workloads.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Domain-separation constant mixed into every seed so that the stream
+    /// family of this generator is distinct from a raw SplitMix64 expansion.
+    const SEED_STREAM: u64 = 4;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed ^ SEED_STREAM;
+            let state = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_well_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn works_through_unsized_and_reference_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = draw(&mut rng);
+        let b = draw(&mut &mut rng);
+        assert!(a != b);
+    }
+}
