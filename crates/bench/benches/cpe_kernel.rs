@@ -1,0 +1,177 @@
+//! Micro-benchmark of the batched mask-grouped CPE likelihood kernel.
+//!
+//! Compares the estimator's batched `update()` / `predict_batch()` against the
+//! canonical transcription of the historical per-observation path (one
+//! `condition_on` — and, for prediction, one model build — per worker per model
+//! evaluation), shared with the equivalence suites via a `#[path]` include of
+//! `crates/selection/tests/reference/mod.rs`, on synthetic pools whose workers
+//! share a small set of missing-domain masks. Alongside wall-clock, it reports
+//! the *observed-block factorisation counts* per `update()` call,
+//! demonstrating the `O(epochs x params x workers)` →
+//! `O(epochs x params x unique_masks)` drop that motivated the kernel.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench cpe_kernel
+//! ```
+//!
+//! Honours `C4U_CPE_EPOCHS` (default 10) like the other bench targets, so CI
+//! can run it as a fast smoke with `C4U_CPE_EPOCHS=2`.
+
+#[path = "../../selection/tests/reference/mod.rs"]
+mod reference;
+
+use c4u_bench::cpe_epochs;
+use c4u_crowd_sim::HistoricalProfile;
+use c4u_selection::{CpeConfig, CpeObservation, CrossDomainEstimator};
+use c4u_stats::{conditioning_factorizations, reset_conditioning_factorizations};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reference::ReferenceEstimator;
+use std::time::Duration;
+
+const NUM_DOMAINS: usize = 3;
+
+/// Deterministic synthetic pool: `workers` observations spread over four
+/// missing-domain masks (fully observed, two partial, all missing).
+fn make_observations(workers: usize) -> Vec<CpeObservation> {
+    const MASKS: [[bool; NUM_DOMAINS]; 4] = [
+        [true, true, true],
+        [true, false, true],
+        [false, true, false],
+        [false, false, false],
+    ];
+    (0..workers)
+        .map(|w| {
+            let mask = MASKS[w % MASKS.len()];
+            let base = 0.25 + 0.5 * (w as f64 / workers.max(1) as f64);
+            CpeObservation {
+                prior_accuracies: (0..NUM_DOMAINS)
+                    .map(|d| mask[d].then_some((base + 0.07 * d as f64).clamp(0.05, 0.95)))
+                    .collect(),
+                correct: 2 + (w * 7) % 8,
+                wrong: 10 - (2 + (w * 7) % 8),
+            }
+        })
+        .collect()
+}
+
+fn make_estimator(config: CpeConfig) -> CrossDomainEstimator {
+    let profiles = [
+        HistoricalProfile::complete(vec![0.9, 0.9, 0.8], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.7, 0.8, 0.6], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.5, 0.6, 0.4], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.3, 0.5, 0.2], vec![10, 10, 10]).unwrap(),
+    ];
+    let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
+    CrossDomainEstimator::from_profiles(&refs, config).unwrap()
+}
+
+fn bench_config(epochs: usize) -> CpeConfig {
+    CpeConfig {
+        mean_learning_rate: 1e-4,
+        covariance_learning_rate: 1e-4,
+        epochs,
+        ..Default::default()
+    }
+}
+
+fn bench_cpe_kernel(c: &mut Criterion) {
+    let epochs = cpe_epochs();
+    let config = bench_config(epochs);
+
+    let mut group = c.benchmark_group("cpe_update");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for workers in [16usize, 64, 256] {
+        let observations = make_observations(workers);
+        group.bench_with_input(
+            BenchmarkId::new("per_observation", workers),
+            &observations,
+            |b, observations| {
+                let est = make_estimator(config);
+                b.iter(|| {
+                    let mut reference = ReferenceEstimator::from_estimator(&est, config);
+                    reference.update(observations);
+                    reference.mean[NUM_DOMAINS]
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mask_grouped", workers),
+            &observations,
+            |b, observations| {
+                let est = make_estimator(config);
+                b.iter(|| {
+                    let mut batched = est.clone();
+                    batched.update(observations).unwrap();
+                    batched.mean()[NUM_DOMAINS]
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cpe_predict_batch");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for workers in [64usize, 1024] {
+        let observations = make_observations(workers);
+        group.bench_with_input(
+            BenchmarkId::new("per_observation", workers),
+            &observations,
+            |b, observations| {
+                let est = make_estimator(config);
+                let reference = ReferenceEstimator::from_estimator(&est, config);
+                b.iter(|| reference.predict_batch(observations));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mask_grouped", workers),
+            &observations,
+            |b, observations| {
+                let est = make_estimator(config);
+                b.iter(|| est.predict_batch(observations).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    // Factorisation accounting: the acceptance criterion of the kernel refactor.
+    println!("\nObserved-block factorisations per update() (epochs = {epochs}):");
+    println!(
+        "  {:>8} {:>14} {:>14} {:>8}",
+        "workers", "per-obs path", "mask-grouped", "ratio"
+    );
+    for workers in [16usize, 64, 256] {
+        let observations = make_observations(workers);
+        let est = make_estimator(config);
+
+        // The bench thread owns the (thread-local) counter, so a plain
+        // reset-then-read reads exactly one update's worth of factorisations.
+        reset_conditioning_factorizations();
+        let mut reference = ReferenceEstimator::from_estimator(&est, config);
+        reference.update(&observations);
+        let per_observation = conditioning_factorizations();
+
+        reset_conditioning_factorizations();
+        let mut batched = est.clone();
+        batched.update(&observations).unwrap();
+        let mask_grouped = conditioning_factorizations();
+
+        // Same numbers, different factorisation count.
+        assert_eq!(reference.mean.as_slice(), batched.mean());
+        println!(
+            "  {:>8} {:>14} {:>14} {:>7.1}x",
+            workers,
+            per_observation,
+            mask_grouped,
+            per_observation as f64 / mask_grouped.max(1) as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_cpe_kernel);
+criterion_main!(benches);

@@ -14,16 +14,22 @@
 //! * `C4U_CPE_EPOCHS` — gradient-descent epochs per CPE round (default 10; the paper
 //!   uses 50, which scales the runtime accordingly without changing the rankings);
 //! * `C4U_TRIALS` — number of answering-noise seeds averaged per cell (default 2).
+//!
+//! Dataset generation is memoised process-wide ([`cached_generate`]): sweep
+//! cells sharing a configuration share one generated dataset, so a table that
+//! evaluates six strategies on one dataset generates it once, not six times.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use c4u_crowd_sim::{generate, Dataset, DatasetConfig};
+use c4u_crowd_sim::{generate, Dataset, DatasetConfig, SimError};
 use c4u_selection::{
     evaluate_strategy_with_k, CrossDomainSelector, GroundTruthOracle, LiEtAl,
     MedianEliminationBaseline, SelectorConfig, UniformSampling, WorkerSelector,
 };
+use std::collections::HashMap;
 use std::convert::Infallible;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default number of CPE gradient-descent epochs used by the bench targets.
 pub const DEFAULT_EPOCHS: usize = 10;
@@ -166,6 +172,64 @@ impl CellSpec {
     }
 }
 
+/// One memo slot per configuration: same-config threads serialise on the slot
+/// (the first generates, the rest wait and share), while distinct
+/// configurations generate concurrently.
+type DatasetSlot = Arc<Mutex<Option<Arc<Dataset>>>>;
+
+/// Process-wide dataset memo: one generated [`Dataset`] per distinct
+/// [`DatasetConfig`], shared across sweep cells and worker threads.
+fn dataset_cache() -> &'static Mutex<HashMap<String, DatasetSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, DatasetSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Stable memo key for a dataset configuration.
+///
+/// `DatasetConfig` carries floats, so it cannot implement `Hash`/`Eq` itself;
+/// its `Debug` rendering covers every field (including the generation seed) and
+/// is deterministic, which is all a cache key needs.
+fn config_key(config: &DatasetConfig) -> String {
+    format!("{config:?}")
+}
+
+/// Memoised [`generate`]: repeated sweep cells with the same configuration
+/// share one generated dataset instead of regenerating it per cell.
+///
+/// Sound because generation is deterministic in `config.seed` (the same
+/// configuration always yields the same dataset) and evaluation never mutates
+/// the dataset — every trial builds its own `Platform` on top. The memo lives
+/// for the process, which matches the bench targets' lifetime; tests can
+/// observe it via [`dataset_cache_len`].
+pub fn cached_generate(config: &DatasetConfig) -> Result<Arc<Dataset>, SimError> {
+    // Two-level locking: the map lock is held only long enough to fetch or
+    // insert the per-key slot, and generation happens under the slot lock —
+    // so concurrent same-config cells generate once and wait for it, while
+    // distinct configs generate in parallel.
+    let slot = {
+        let mut cache = dataset_cache().lock().expect("dataset cache lock");
+        Arc::clone(cache.entry(config_key(config)).or_default())
+    };
+    let mut guard = slot.lock().expect("dataset slot lock");
+    if let Some(hit) = guard.as_ref() {
+        return Ok(Arc::clone(hit));
+    }
+    // On error the slot stays empty, so a later call simply retries.
+    let dataset = Arc::new(generate(config)?);
+    *guard = Some(Arc::clone(&dataset));
+    Ok(dataset)
+}
+
+/// Number of distinct dataset configurations currently memoised (filled slots).
+pub fn dataset_cache_len() -> usize {
+    dataset_cache()
+        .lock()
+        .expect("dataset cache lock")
+        .values()
+        .filter(|slot| slot.lock().expect("dataset slot lock").is_some())
+        .count()
+}
+
 /// Evaluates one cell on an already-generated dataset.
 pub fn evaluate_cell_on(dataset: &Dataset, spec: &CellSpec) -> Cell {
     let strategy = spec
@@ -193,9 +257,10 @@ pub fn evaluate_cell_on(dataset: &Dataset, spec: &CellSpec) -> Cell {
     }
 }
 
-/// Evaluates one cell, generating the dataset from its configuration first.
+/// Evaluates one cell, generating (or reusing a memoised copy of) the dataset
+/// from its configuration first.
 pub fn evaluate_cell(spec: &CellSpec) -> Cell {
-    match generate(&spec.config) {
+    match cached_generate(&spec.config) {
         Ok(dataset) => evaluate_cell_on(&dataset, spec),
         Err(err) => {
             eprintln!("warning: generating {} failed: {err}", spec.config.name);
@@ -285,6 +350,40 @@ mod tests {
         for kind in all {
             let strategy = kind.build(3, 0.5);
             assert_eq!(strategy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn cached_generate_shares_datasets_per_config() {
+        let mut config = DatasetConfig::rw1();
+        config.pool_size = 9;
+        config.select_k = 2;
+        let a = cached_generate(&config).unwrap();
+        let b = cached_generate(&config).unwrap();
+        // Same configuration -> literally the same dataset allocation.
+        assert!(Arc::ptr_eq(&a, &b));
+        // Any configuration change (here: the generation seed) is a different key.
+        let c = cached_generate(&config.with_seed(config.seed.wrapping_add(1))).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_ne!(config_key(&config), config_key(&config.with_seed(1)));
+        assert!(dataset_cache_len() >= 2);
+    }
+
+    #[test]
+    fn concurrent_cached_generate_shares_one_dataset() {
+        let mut config = DatasetConfig::rw1();
+        config.pool_size = 8;
+        config.select_k = 2;
+        let config = config.with_seed(777);
+        let datasets: Vec<Arc<Dataset>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cached_generate(&config).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Cold-cache race included: every thread gets the same allocation.
+        for dataset in &datasets[1..] {
+            assert!(Arc::ptr_eq(&datasets[0], dataset));
         }
     }
 

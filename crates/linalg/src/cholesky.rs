@@ -273,6 +273,22 @@ mod tests {
     }
 
     #[test]
+    fn matrix_handles_match_direct_construction() {
+        let a = spd3();
+        assert!(
+            a.cholesky()
+                .unwrap()
+                .reconstruct()
+                .max_abs_diff(&a)
+                .unwrap()
+                < 1e-10
+        );
+        let indefinite = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(indefinite.cholesky().is_err());
+        assert!(indefinite.cholesky_with_jitter(1e-6, 20).is_ok());
+    }
+
+    #[test]
     fn solve_matrix_dimension_check() {
         let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
         assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());

@@ -391,6 +391,29 @@ impl Matrix {
     pub fn outer(u: &Vector, v: &Vector) -> Self {
         Self::from_fn(u.len(), v.len(), |i, j| u[i] * v[j])
     }
+
+    /// Factorises the matrix once into a reusable [`Cholesky`] handle.
+    ///
+    /// The handle amortises the `O(n^3)` factorisation over arbitrarily many
+    /// `O(n^2)` [`Cholesky::solve`] applications ("factorise once, solve
+    /// many").
+    pub fn cholesky(&self) -> Result<crate::Cholesky> {
+        crate::Cholesky::new(self)
+    }
+
+    /// Like [`Matrix::cholesky`], with the diagonal-jitter repair loop of
+    /// [`Cholesky::new_with_jitter`] for matrices sitting on the PSD boundary.
+    ///
+    /// This is how `c4u_stats::Conditioner` builds its cached observed-block
+    /// factor, which the batched CPE kernel then applies to every worker
+    /// sharing a missing-domain mask.
+    pub fn cholesky_with_jitter(
+        &self,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<crate::Cholesky> {
+        crate::Cholesky::new_with_jitter(self, initial_jitter, max_tries)
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {

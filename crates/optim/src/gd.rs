@@ -10,6 +10,7 @@
 
 use crate::error::OptimError;
 use crate::gradient::gradient;
+use crate::oracle::GradientOracle;
 
 /// Configuration of a gradient-descent run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +114,24 @@ impl GradientDescent {
         x0: &[f64],
     ) -> Result<GradientDescentResult, OptimError> {
         self.minimize_with_gradient(&objective, |x| gradient(&objective, x), x0, |_| {})
+    }
+
+    /// Minimises a [`GradientOracle`]'s objective, using the oracle's own
+    /// gradient, with an optional projection applied after every step.
+    ///
+    /// The oracle decides *how* gradients are produced (finite differences
+    /// today, analytic forms tomorrow) and the descent loop stays identical
+    /// either way. Note that the CPE update consumes its oracle directly
+    /// rather than through this driver, because Eq. 6–7 apply two different
+    /// learning rates (mean vs. covariance) within one step — callers with a
+    /// single learning rate use this entry point.
+    pub fn minimize_with_oracle(
+        &self,
+        oracle: &dyn GradientOracle,
+        x0: &[f64],
+        project: impl FnMut(&mut [f64]),
+    ) -> Result<GradientDescentResult, OptimError> {
+        self.minimize_with_gradient(|x| oracle.objective(x), |x| oracle.gradient(x), x0, project)
     }
 
     /// Minimises `objective` with a caller-supplied gradient oracle and a projection
@@ -231,6 +250,24 @@ mod tests {
         assert!((result.x[1] + 1.0).abs() < 1e-3, "{:?}", result.x);
         assert!(result.improved());
         assert!(result.objective < 1e-4);
+    }
+
+    #[test]
+    fn oracle_run_matches_closure_run_bit_for_bit() {
+        use crate::oracle::FiniteDifference;
+        let gd = GradientDescent::new(GradientDescentConfig {
+            learning_rate: 0.1,
+            epochs: 100,
+            gradient_clip: f64::INFINITY,
+            tolerance: 1e-12,
+        })
+        .unwrap();
+        let via_closures = gd.minimize(quadratic, &[0.0, 0.0]).unwrap();
+        let oracle = FiniteDifference::new(quadratic);
+        let via_oracle = gd
+            .minimize_with_oracle(&oracle, &[0.0, 0.0], |_| {})
+            .unwrap();
+        assert_eq!(via_oracle, via_closures);
     }
 
     #[test]

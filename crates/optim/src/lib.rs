@@ -6,8 +6,9 @@
 //! Three estimation problems in the paper need an optimiser:
 //!
 //! 1. the Maximum Likelihood Estimation of the cross-domain mean vector and
-//!    covariance matrix (Eq. 5–7), solved by [`GradientDescent`] over
-//!    [`gradient`]-computed numerical gradients;
+//!    covariance matrix (Eq. 5–7), solved by [`GradientDescent`] over a
+//!    [`GradientOracle`] — today the [`FiniteDifference`] central-difference
+//!    oracle, with the trait as the seam for the closed-form Eq. 6–7 gradients;
 //! 2. the per-worker learning-parameter fit of the Learning Gain Estimation
 //!    (Eq. 11), a one-dimensional least-squares problem solved by
 //!    [`minimize_scalar`] (golden-section search plus Newton polish);
@@ -40,10 +41,12 @@ mod error;
 mod gd;
 mod gradient;
 mod ols;
+mod oracle;
 mod scalar;
 
 pub use error::OptimError;
 pub use gd::{GradientDescent, GradientDescentConfig, GradientDescentResult};
 pub use gradient::{derivative, gradient, gradient_with_step, second_derivative};
 pub use ols::LinearRegression;
+pub use oracle::{FiniteDifference, GradientOracle};
 pub use scalar::{golden_section_minimize, minimize_scalar, newton_polish, ScalarMinimum};

@@ -1,0 +1,108 @@
+//! Gradient oracles: the seam between objectives and the optimiser.
+//!
+//! [`GradientDescent`](crate::GradientDescent) historically took a bare
+//! objective closure and differentiated it numerically. That hard-wired the
+//! *how* of differentiation into every call site: the CPE covariance update
+//! (Eq. 6–7 of the paper) could only ever see finite differences, even though
+//! the equations have closed-form gradients. A [`GradientOracle`] bundles the
+//! objective with the way its gradient is produced, so callers pick (or
+//! implement) the differentiation strategy once and the optimiser stays
+//! agnostic:
+//!
+//! * [`FiniteDifference`] — central differences over any `Fn(&[f64]) -> f64`,
+//!   with either the relative step of [`gradient`](crate::gradient) or a fixed
+//!   absolute step ([`gradient_with_step`](crate::gradient_with_step)); this is
+//!   what the CPE estimator uses today;
+//! * analytic implementations — any type computing the gradient in closed form
+//!   can implement the trait and plug into the same descent loop (the planned
+//!   Eq. 6–7 analytic CPE gradients land here).
+
+use crate::gradient::{gradient, gradient_with_step};
+
+/// An objective function paired with a way to compute its gradient.
+///
+/// Implementations must return a gradient of the same length as `x`;
+/// [`GradientDescent::minimize_with_oracle`](crate::GradientDescent::minimize_with_oracle)
+/// validates this per step.
+pub trait GradientOracle {
+    /// The objective value at `x` (the quantity being minimised).
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// The gradient of the objective at `x`.
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+}
+
+/// Central-difference [`GradientOracle`] over a plain objective closure.
+///
+/// With [`FiniteDifference::new`] the per-coordinate step is relative
+/// (`1e-5 * max(1, |x_i|)`, matching [`gradient`]); with
+/// [`FiniteDifference::with_step`] it is a fixed absolute step (matching
+/// [`gradient_with_step`]), which is what the CPE update uses so that the
+/// covariance entries near zero still get a usable stencil.
+#[derive(Debug, Clone)]
+pub struct FiniteDifference<F> {
+    f: F,
+    step: Option<f64>,
+}
+
+impl<F: Fn(&[f64]) -> f64> FiniteDifference<F> {
+    /// Oracle with the default relative step per coordinate.
+    pub fn new(f: F) -> Self {
+        Self { f, step: None }
+    }
+
+    /// Oracle with a fixed absolute step per coordinate.
+    pub fn with_step(f: F, step: f64) -> Self {
+        Self {
+            f,
+            step: Some(step),
+        }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64> GradientOracle for FiniteDifference<F> {
+    fn objective(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        match self.step {
+            Some(step) => gradient_with_step(&self.f, x, step),
+            None => gradient(&self.f, x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl(v: &[f64]) -> f64 {
+        (v[0] - 1.0).powi(2) + 2.0 * (v[1] + 3.0).powi(2)
+    }
+
+    #[test]
+    fn relative_step_oracle_matches_free_function() {
+        let oracle = FiniteDifference::new(bowl);
+        let x = [2.0, -1.0];
+        assert_eq!(oracle.objective(&x), bowl(&x));
+        assert_eq!(oracle.gradient(&x), gradient(bowl, &x));
+    }
+
+    #[test]
+    fn fixed_step_oracle_matches_free_function() {
+        let oracle = FiniteDifference::with_step(bowl, 1e-5);
+        let x = [2.0, -1.0];
+        // Bit-for-bit: the oracle is a packaging of the existing stencil, not a
+        // reimplementation.
+        assert_eq!(oracle.gradient(&x), gradient_with_step(bowl, &x, 1e-5));
+    }
+
+    #[test]
+    fn oracle_is_object_safe() {
+        let oracle: Box<dyn GradientOracle> = Box::new(FiniteDifference::new(bowl));
+        let g = oracle.gradient(&[2.0, -1.0]);
+        assert!((g[0] - 2.0).abs() < 1e-6);
+        assert!((g[1] - 8.0).abs() < 1e-6);
+    }
+}

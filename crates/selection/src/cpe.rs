@@ -15,17 +15,58 @@
 //!
 //! Workers that lack a record on some prior domains are handled by conditioning only
 //! on the domains they have actually worked on (Sec. IV-E).
+//!
+//! ## The likelihood-kernel layering
+//!
+//! Every likelihood-facing entry point (`log_likelihood`, `update`, `predict`,
+//! `predict_batch`) is built on the batched [`kernel`] layer rather than a
+//! per-observation loop: observations are grouped by observed-domain mask once
+//! at entry ([`kernel::MaskGroups`]), and each model evaluation builds **one**
+//! cached conditioning factorisation per unique mask
+//! ([`c4u_stats::Conditioner`]) instead of one per worker. The gradient step of
+//! Eq. 6–7 goes through the [`c4u_optim::GradientOracle`] seam, selected by
+//! [`CpeConfig::gradient_oracle`]: today a [`c4u_optim::FiniteDifference`]
+//! oracle over the batched objective, with analytic Eq. 6–7 gradients as a
+//! planned drop-in. The numbers are bit-for-bit identical to the historical
+//! per-observation code (see `tests/kernel_equivalence.rs`); only the
+//! factorisation count changes — `O(epochs x params x unique_masks)` instead of
+//! `O(epochs x params x workers)`.
+
+pub mod kernel;
 
 use crate::SelectionError;
 use c4u_crowd_sim::HistoricalProfile;
 use c4u_linalg::{Matrix, Vector};
-use c4u_optim::gradient_with_step;
+use c4u_optim::{FiniteDifference, GradientOracle};
 use c4u_stats::{
     mean as stat_mean, nearest_positive_definite, std_dev, GaussLegendre, MultivariateNormal,
     Uniform,
 };
+use kernel::CpeLikelihoodKernel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// How the Eq. 6–7 gradient is produced during [`CrossDomainEstimator::update`].
+///
+/// This is the configuration-level face of the [`c4u_optim::GradientOracle`]
+/// seam: every variant maps to an oracle implementation over the batched
+/// likelihood kernel. A closed-form analytic variant (differentiating Eq. 6–7
+/// directly) is the planned next addition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpeGradient {
+    /// Central finite differences over the marginal log-likelihood with a fixed
+    /// absolute stencil step (the historical behaviour).
+    FiniteDifference {
+        /// Absolute step of the central-difference stencil.
+        step: f64,
+    },
+}
+
+impl Default for CpeGradient {
+    fn default() -> Self {
+        Self::FiniteDifference { step: 1e-5 }
+    }
+}
 
 /// Configuration of the CPE estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +91,8 @@ pub struct CpeConfig {
     pub use_posterior_prediction: bool,
     /// Seed for the uniform-random initialisation of the correlation parameters.
     pub correlation_seed: u64,
+    /// Gradient oracle driving the Eq. 6–7 update (see [`CpeGradient`]).
+    pub gradient_oracle: CpeGradient,
 }
 
 impl Default for CpeConfig {
@@ -63,6 +106,7 @@ impl Default for CpeConfig {
             min_variance: 1e-4,
             use_posterior_prediction: true,
             correlation_seed: 21,
+            gradient_oracle: CpeGradient::default(),
         }
     }
 }
@@ -103,6 +147,16 @@ impl CpeConfig {
                 what: "min_variance must be > 0",
                 value: self.min_variance,
             });
+        }
+        match self.gradient_oracle {
+            CpeGradient::FiniteDifference { step } => {
+                if step.is_nan() || step <= 0.0 {
+                    return Err(SelectionError::InvalidConfig {
+                        what: "finite-difference step must be > 0",
+                        value: step,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -239,35 +293,21 @@ impl CrossDomainEstimator {
     }
 
     /// Marginal log-likelihood of a set of observations under the current model
-    /// (Eq. 5).
+    /// (Eq. 5), evaluated through the batched mask-grouped kernel.
     pub fn log_likelihood(&self, observations: &[CpeObservation]) -> Result<f64, SelectionError> {
-        let model = self.model()?;
-        let mut total = 0.0;
-        for obs in observations {
-            total += self.worker_log_likelihood(&model, obs)?;
-        }
-        Ok(total)
-    }
-
-    fn worker_log_likelihood(
-        &self,
-        model: &MultivariateNormal,
-        obs: &CpeObservation,
-    ) -> Result<f64, SelectionError> {
-        let (idx, values) = observed_domains(obs, self.num_prior_domains);
-        let cond = model.condition_on(self.num_prior_domains, &idx, &values)?;
-        let (log_z, _) = self.binomial_normal_moments(
-            cond.mean,
-            cond.std_dev(),
-            obs.correct as f64,
-            obs.wrong as f64,
-        );
-        Ok(log_z)
+        let kernel =
+            CpeLikelihoodKernel::new(observations, self.num_prior_domains, &self.quadrature);
+        kernel.log_likelihood(&self.model()?)
     }
 
     /// Performs one round of the gradient-ascent update of Eq. 6–7: `epochs` steps on
     /// the negative marginal log-likelihood, with separate learning rates for the
     /// mean and covariance parameters and a PSD projection after every step.
+    ///
+    /// The observations are mask-grouped **once** at entry; every objective
+    /// evaluation of the gradient oracle then factorises one conditioner per
+    /// unique missing-domain mask instead of one per worker, which is where the
+    /// `O(workers / unique_masks)` speedup of the batched kernel comes from.
     pub fn update(&mut self, observations: &[CpeObservation]) -> Result<(), SelectionError> {
         if observations.is_empty() {
             return Ok(());
@@ -275,6 +315,9 @@ impl CrossDomainEstimator {
         let d = self.num_prior_domains;
         let n_mean = d + 1;
         let n_cov = (d + 1) * (d + 2) / 2;
+        // Field-level borrow: the epoch loop below mutates `mean`/`covariance`,
+        // which are disjoint from the quadrature the kernel holds.
+        let kernel = CpeLikelihoodKernel::new(observations, d, &self.quadrature);
 
         for _ in 0..self.config.epochs {
             // Pack the current parameters.
@@ -282,13 +325,19 @@ impl CrossDomainEstimator {
             params.extend_from_slice(&self.mean);
             params.extend(lower_triangle(&self.covariance));
 
-            let objective = |p: &[f64]| {
-                // Negative log-likelihood of the unpacked parameters; non-finite
-                // values are mapped to a large penalty so the numerical gradient
-                // stays usable near the PSD boundary.
-                self.objective_at(p, observations).unwrap_or(1e12)
+            let grad = {
+                let objective = |p: &[f64]| {
+                    // Negative log-likelihood of the unpacked parameters; non-finite
+                    // values are mapped to a large penalty so the numerical gradient
+                    // stays usable near the PSD boundary.
+                    self.objective_at(p, &kernel).unwrap_or(1e12)
+                };
+                match self.config.gradient_oracle {
+                    CpeGradient::FiniteDifference { step } => {
+                        FiniteDifference::with_step(objective, step).gradient(&params)
+                    }
+                }
             };
-            let grad = gradient_with_step(objective, &params, 1e-5);
 
             // Apply the two learning rates (Eq. 6 for the mean, Eq. 7 for Sigma).
             for (i, value) in self.mean.iter_mut().enumerate() {
@@ -309,18 +358,14 @@ impl CrossDomainEstimator {
     fn objective_at(
         &self,
         params: &[f64],
-        observations: &[CpeObservation],
+        kernel: &CpeLikelihoodKernel<'_>,
     ) -> Result<f64, SelectionError> {
         let d = self.num_prior_domains;
         let mean = &params[..d + 1];
         let cov = from_lower_triangle(&params[d + 1..], d + 1);
         let cov = nearest_positive_definite(&cov, self.config.min_variance)?;
         let model = MultivariateNormal::new(Vector::from_slice(mean), cov)?;
-        let mut total = 0.0;
-        for obs in observations {
-            total += self.worker_log_likelihood(&model, obs)?;
-        }
-        Ok(-total)
+        Ok(-kernel.log_likelihood(&model)?)
     }
 
     /// Predicted target-domain accuracy of a worker (Eq. 8).
@@ -330,79 +375,22 @@ impl CrossDomainEstimator {
     /// and the worker's observed correct/wrong counts; otherwise it is the truncated
     /// conditional mean given the profile alone.
     pub fn predict(&self, obs: &CpeObservation) -> Result<f64, SelectionError> {
-        let model = self.model()?;
-        let (idx, values) = observed_domains(obs, self.num_prior_domains);
-        let cond = model.condition_on(self.num_prior_domains, &idx, &values)?;
-        let (c, x) = if self.config.use_posterior_prediction {
-            (obs.correct as f64, obs.wrong as f64)
-        } else {
-            (0.0, 0.0)
-        };
-        let (log_z, posterior_mean) = self.binomial_normal_moments(cond.mean, cond.std_dev(), c, x);
-        if !log_z.is_finite() || !posterior_mean.is_finite() {
-            return Err(SelectionError::Numerical(
-                "CPE prediction integral did not converge".to_string(),
-            ));
-        }
-        Ok(posterior_mean.clamp(0.0, 1.0))
+        let mut predictions = self.predict_batch(std::slice::from_ref(obs))?;
+        Ok(predictions
+            .pop()
+            .expect("one observation yields one prediction"))
     }
 
-    /// Predicted accuracies for a whole batch of observations, in order.
+    /// Predicted accuracies for a whole batch of observations, in order, sharing
+    /// one conditioning factorisation per unique missing-domain mask.
     pub fn predict_batch(
         &self,
         observations: &[CpeObservation],
     ) -> Result<Vec<f64>, SelectionError> {
-        observations.iter().map(|o| self.predict(o)).collect()
+        let kernel =
+            CpeLikelihoodKernel::new(observations, self.num_prior_domains, &self.quadrature);
+        kernel.predict(&self.model()?, self.config.use_posterior_prediction)
     }
-
-    /// Computes `(log Z, E[h])` where
-    /// `Z = ∫_0^1 h^C (1-h)^X N(h; mu, sigma^2) dh` and the expectation is taken
-    /// under the same unnormalised density. Evaluation happens in log-space so that
-    /// large answer counts cannot underflow.
-    fn binomial_normal_moments(&self, mu: f64, sigma: f64, c: f64, x: f64) -> (f64, f64) {
-        let sigma = sigma.max(1e-6);
-        let log_integrand = |h: f64| {
-            let h = h.clamp(1e-12, 1.0 - 1e-12);
-            let z = (h - mu) / sigma;
-            c * h.ln() + x * (1.0 - h).ln()
-                - 0.5 * z * z
-                - sigma.ln()
-                - 0.5 * (2.0 * std::f64::consts::PI).ln()
-        };
-        // Locate the maximum of the log-integrand on a coarse grid for stable
-        // exponentiation.
-        let mut log_max = f64::NEG_INFINITY;
-        for i in 0..=40 {
-            let h = 0.0125 + 0.975 * (i as f64 / 40.0);
-            log_max = log_max.max(log_integrand(h));
-        }
-        if !log_max.is_finite() {
-            return (f64::NEG_INFINITY, mu.clamp(0.0, 1.0));
-        }
-        let z = self
-            .quadrature
-            .integrate(0.0, 1.0, |h| (log_integrand(h) - log_max).exp());
-        let first = self
-            .quadrature
-            .integrate(0.0, 1.0, |h| h * (log_integrand(h) - log_max).exp());
-        if z <= 0.0 || !z.is_finite() {
-            return (f64::NEG_INFINITY, mu.clamp(0.0, 1.0));
-        }
-        (z.ln() + log_max, first / z)
-    }
-}
-
-/// Splits an observation into the indices and values of the domains that are present.
-fn observed_domains(obs: &CpeObservation, num_domains: usize) -> (Vec<usize>, Vec<f64>) {
-    let mut idx = Vec::new();
-    let mut values = Vec::new();
-    for d in 0..num_domains {
-        if let Some(Some(a)) = obs.prior_accuracies.get(d) {
-            idx.push(d);
-            values.push(*a);
-        }
-    }
-    (idx, values)
 }
 
 /// Lower-triangle (row-major) packing of a symmetric matrix.

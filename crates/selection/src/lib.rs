@@ -60,7 +60,11 @@ pub mod theory;
 
 pub use baselines::{GroundTruthOracle, LiEtAl, MedianEliminationBaseline, UniformSampling};
 pub use budget::BudgetPlan;
-pub use cpe::{CpeConfig, CpeObservation, CrossDomainEstimator};
+pub use cpe::kernel::{
+    binomial_normal_log_z, binomial_normal_moments, observed_domains, CpeLikelihoodKernel,
+    MaskGroup, MaskGroups,
+};
+pub use cpe::{CpeConfig, CpeGradient, CpeObservation, CrossDomainEstimator};
 pub use engine::{run_indexed_jobs, EvalEngine};
 pub use error::SelectionError;
 pub use evaluation::{

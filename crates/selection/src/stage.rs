@@ -138,6 +138,11 @@ fn uninitialized(stage: &'static str) -> SelectionError {
 /// Per round it refines the multivariate-normal cross-domain model with the
 /// observed answer counts and emits the static estimate `p_{c,i}` per worker.
 /// It ignores its `prior` input, so it is usually the first stage.
+///
+/// Both the update and the prediction run on the batched mask-grouped
+/// likelihood kernel (`cpe::kernel`), and the gradient comes from the oracle
+/// selected by [`CpeConfig::gradient_oracle`] — so every staged selector and
+/// every [`EvalEngine`](crate::EvalEngine) run hits the batched path.
 #[derive(Debug, Clone)]
 pub struct CpeStage {
     config: CpeConfig,

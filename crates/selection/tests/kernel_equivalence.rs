@@ -1,0 +1,158 @@
+//! Regression tests proving the batched mask-grouped likelihood kernel
+//! preserved the CPE estimator's numerics **bit-for-bit**.
+//!
+//! [`reference::ReferenceEstimator`] is a literal transcription of the
+//! historical per-observation code path: `condition_on` once per observation
+//! per model evaluation, `gradient_with_step` over a per-observation objective,
+//! and per-observation prediction. The tests seed it with the exact state of a
+//! [`CrossDomainEstimator`] and require exact `f64` equality of the
+//! log-likelihood, the post-`update` mean and covariance, and `predict_batch`
+//! on observation sets that mix fully-observed, partially-missing, and
+//! all-missing masks.
+//!
+//! A final test pins the *factorisation count*: one observed-block Cholesky per
+//! unique non-empty mask per objective evaluation, i.e.
+//! `epochs x (2 x params) x unique_masks` per `update()` — the acceptance
+//! criterion of the batched-kernel refactor.
+
+mod reference;
+
+use c4u_crowd_sim::HistoricalProfile;
+use c4u_selection::{CpeConfig, CpeObservation, CrossDomainEstimator};
+use c4u_stats::conditioning_factorizations;
+use reference::ReferenceEstimator;
+
+fn profiles() -> Vec<HistoricalProfile> {
+    vec![
+        HistoricalProfile::complete(vec![0.9, 0.9, 0.8], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.7, 0.8, 0.6], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.5, 0.6, 0.4], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::new(vec![Some(0.4), None, Some(0.3)], vec![10, 0, 10]).unwrap(),
+    ]
+}
+
+/// Observation set mixing every mask shape the kernel has to group: the
+/// fully-observed mask (repeated), two distinct partial masks (one repeated),
+/// and the all-missing mask.
+fn mixed_observations() -> Vec<CpeObservation> {
+    fn obs(mask: &[Option<f64>], correct: usize, wrong: usize) -> CpeObservation {
+        CpeObservation {
+            prior_accuracies: mask.to_vec(),
+            correct,
+            wrong,
+        }
+    }
+    vec![
+        obs(&[Some(0.9), Some(0.9), Some(0.8)], 9, 1),
+        obs(&[Some(0.7), Some(0.8), Some(0.6)], 7, 3),
+        obs(&[Some(0.4), None, Some(0.3)], 3, 7),
+        obs(&[None, None, None], 5, 5),
+        obs(&[Some(0.5), Some(0.6), Some(0.4)], 5, 5),
+        obs(&[Some(0.8), None, Some(0.7)], 8, 2),
+        obs(&[None, Some(0.6), None], 4, 6),
+    ]
+}
+
+fn fast_config() -> CpeConfig {
+    CpeConfig {
+        // Larger rates and few epochs: real parameter movement, fast test.
+        mean_learning_rate: 1e-4,
+        covariance_learning_rate: 1e-4,
+        epochs: 4,
+        ..Default::default()
+    }
+}
+
+fn estimator(config: CpeConfig) -> CrossDomainEstimator {
+    let profiles = profiles();
+    let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
+    CrossDomainEstimator::from_profiles(&refs, config).unwrap()
+}
+
+#[test]
+fn log_likelihood_matches_reference_bit_for_bit() {
+    let config = fast_config();
+    let est = estimator(config);
+    let reference = ReferenceEstimator::from_estimator(&est, config);
+    let observations = mixed_observations();
+    // Exact f64 equality: the kernel must not change a single bit.
+    assert_eq!(
+        est.log_likelihood(&observations).unwrap(),
+        reference.log_likelihood(&observations)
+    );
+}
+
+#[test]
+fn update_matches_reference_bit_for_bit() {
+    let config = fast_config();
+    let mut est = estimator(config);
+    let mut reference = ReferenceEstimator::from_estimator(&est, config);
+    let observations = mixed_observations();
+
+    est.update(&observations).unwrap();
+    reference.update(&observations);
+
+    assert_eq!(est.mean(), reference.mean.as_slice());
+    assert_eq!(est.covariance().as_slice(), reference.covariance.as_slice());
+    // And the post-update likelihood agrees exactly too.
+    assert_eq!(
+        est.log_likelihood(&observations).unwrap(),
+        reference.log_likelihood(&observations)
+    );
+}
+
+#[test]
+fn predict_batch_matches_reference_bit_for_bit() {
+    for use_posterior in [true, false] {
+        let config = CpeConfig {
+            use_posterior_prediction: use_posterior,
+            ..fast_config()
+        };
+        let mut est = estimator(config);
+        let observations = mixed_observations();
+        // Exercise the post-update model, not just the initial one.
+        est.update(&observations).unwrap();
+        let reference = ReferenceEstimator::from_estimator(&est, config);
+        assert_eq!(
+            est.predict_batch(&observations).unwrap(),
+            reference.predict_batch(&observations)
+        );
+        // The single-observation path is the batch path.
+        for obs in &observations {
+            assert_eq!(est.predict(obs).unwrap(), reference.predict(obs));
+        }
+    }
+}
+
+#[test]
+fn update_factorizes_once_per_unique_mask_per_objective_evaluation() {
+    let config = fast_config();
+    let mut est = estimator(config);
+    let observations = mixed_observations();
+
+    let d = est.num_prior_domains();
+    let params = (d + 1) + (d + 1) * (d + 2) / 2;
+    // mixed_observations: 4 distinct masks ({0,1,2}, {0,2}, {}, {1}), of which
+    // 3 are non-empty (the all-missing mask conditions on nothing and never
+    // factorises).
+    let non_empty_masks = 3u64;
+    let workers = observations.len() as u64;
+    assert!(non_empty_masks < workers);
+
+    let before = conditioning_factorizations();
+    est.update(&observations).unwrap();
+    let spent = conditioning_factorizations() - before;
+
+    // Central differences evaluate the objective twice per parameter; each
+    // evaluation factorises once per unique non-empty mask — not once per
+    // worker, which is the entire point of the batched kernel.
+    let expected = config.epochs as u64 * 2 * params as u64 * non_empty_masks;
+    assert_eq!(spent, expected);
+    let per_worker_cost = config.epochs as u64 * 2 * params as u64 * workers;
+    assert!(spent < per_worker_cost);
+
+    // predict_batch: one factorisation per unique non-empty mask, total.
+    let before = conditioning_factorizations();
+    est.predict_batch(&observations).unwrap();
+    assert_eq!(conditioning_factorizations() - before, non_empty_masks);
+}

@@ -62,7 +62,10 @@ pub use descriptive::{
 };
 pub use error::StatsError;
 pub use integrate::{adaptive_simpson, trapezoid, GaussLegendre};
-pub use mvn::{Conditional1D, MultivariateNormal};
+pub use mvn::{
+    conditioning_factorizations, reset_conditioning_factorizations, Conditional1D, Conditioner,
+    MultivariateNormal,
+};
 pub use special::{
     erf, erfc, ln_beta, ln_gamma, log1p_exp, logit, sigmoid, std_normal_cdf, std_normal_pdf,
     std_normal_quantile,

@@ -17,10 +17,35 @@ use crate::univariate::sample_standard_normal;
 use crate::StatsError;
 use c4u_linalg::{Cholesky, Matrix, Vector};
 use rand::Rng;
+use std::cell::Cell;
 
 /// Default number of rejection-sampling attempts for box-truncated draws before
 /// falling back to clamping the last proposal into the box.
 const TRUNCATION_MAX_REJECTS: usize = 256;
+
+thread_local! {
+    /// Per-thread count of observed-block Cholesky factorisations performed by
+    /// [`MultivariateNormal::conditioner`] (and therefore by
+    /// [`MultivariateNormal::condition_on`], which delegates to it).
+    ///
+    /// A diagnostic used by the benchmark harness to demonstrate that the
+    /// mask-grouped CPE kernel factorises once per unique missing-domain mask
+    /// instead of once per worker. Thread-local so that parallel engine runs
+    /// and parallel tests cannot contaminate each other's counts; it has no
+    /// effect on results.
+    static CONDITIONING_FACTORIZATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Observed-block factorisations performed by the current thread since it
+/// started (or since the last [`reset_conditioning_factorizations`]).
+pub fn conditioning_factorizations() -> u64 {
+    CONDITIONING_FACTORIZATIONS.with(Cell::get)
+}
+
+/// Resets the current thread's factorisation counter (benchmark bookkeeping).
+pub fn reset_conditioning_factorizations() {
+    CONDITIONING_FACTORIZATIONS.with(|c| c.set(0));
+}
 
 /// A multivariate normal distribution `N(mu, Sigma)`.
 #[derive(Debug, Clone)]
@@ -237,19 +262,38 @@ impl MultivariateNormal {
         given_idx: &[usize],
         given_values: &[f64],
     ) -> Result<Conditional1D, StatsError> {
+        // Cheap length check up front: don't pay (or count) an observed-block
+        // factorisation for a call that Conditioner::condition would reject.
+        if given_idx.len() != given_values.len() {
+            return Err(StatsError::DimensionMismatch {
+                what: "given indices and values must have equal length",
+                left: given_idx.len(),
+                right: given_values.len(),
+            });
+        }
+        self.conditioner(target, given_idx)?.condition(given_values)
+    }
+
+    /// Builds a [`Conditioner`]: the factorisation-caching form of
+    /// [`MultivariateNormal::condition_on`].
+    ///
+    /// The observed-block Cholesky factorisation (`O(g^3)` for `g` observed
+    /// coordinates) and the conditional variance — which does not depend on the
+    /// observed *values* — are computed once here; every subsequent
+    /// [`Conditioner::condition`] call costs only an `O(g^2)` triangular solve.
+    /// The CPE likelihood kernel builds one conditioner per unique
+    /// missing-domain mask and applies it to every worker sharing that mask.
+    pub fn conditioner(
+        &self,
+        target: usize,
+        given_idx: &[usize],
+    ) -> Result<Conditioner, StatsError> {
         let d = self.dim();
         if target >= d {
             return Err(StatsError::DimensionMismatch {
                 what: "conditioning target out of range",
                 left: target,
                 right: d,
-            });
-        }
-        if given_idx.len() != given_values.len() {
-            return Err(StatsError::DimensionMismatch {
-                what: "given indices and values must have equal length",
-                left: given_idx.len(),
-                right: given_values.len(),
             });
         }
         if given_idx.iter().any(|&i| i >= d || i == target) {
@@ -260,8 +304,11 @@ impl MultivariateNormal {
         }
         let var_t = self.cov[(target, target)];
         if given_idx.is_empty() {
-            return Ok(Conditional1D {
-                mean: self.mean[target],
+            return Ok(Conditioner {
+                target_mean: self.mean[target],
+                given_means: Vec::new(),
+                sigma_tg: Vector::zeros(0),
+                chol_gg: None,
                 variance: var_t.max(1e-12),
             });
         }
@@ -271,32 +318,89 @@ impl MultivariateNormal {
             .submatrix(given_idx, given_idx)
             .map_err(|e| StatsError::Numerical(e.to_string()))?;
         let sigma_tg = Vector::from_fn(given_idx.len(), |j| self.cov[(target, given_idx[j])]);
-        let diff = Vector::from_fn(given_idx.len(), |j| {
-            given_values[j] - self.mean[given_idx[j]]
-        });
+        let given_means: Vec<f64> = given_idx.iter().map(|&i| self.mean[i]).collect();
 
-        let chol_gg = Cholesky::new_with_jitter(&sigma_gg, 1e-10, 12)
+        let chol_gg = sigma_gg
+            .cholesky_with_jitter(1e-10, 12)
             .map_err(|e| StatsError::Numerical(e.to_string()))?;
-        // w = Sigma_{G,G}^{-1} (x_G - mu_G)
-        let w = chol_gg
-            .solve(&diff)
-            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        CONDITIONING_FACTORIZATIONS.with(|c| c.set(c.get() + 1));
         // v = Sigma_{G,G}^{-1} Sigma_{G,T}
         let v = chol_gg
             .solve(&sigma_tg)
             .map_err(|e| StatsError::Numerical(e.to_string()))?;
-
-        let mean = self.mean[target]
-            + sigma_tg
-                .dot(&w)
-                .map_err(|e| StatsError::Numerical(e.to_string()))?;
         let variance = var_t
             - sigma_tg
                 .dot(&v)
                 .map_err(|e| StatsError::Numerical(e.to_string()))?;
+
+        Ok(Conditioner {
+            target_mean: self.mean[target],
+            given_means,
+            sigma_tg,
+            chol_gg: Some(chol_gg),
+            variance: variance.max(1e-12),
+        })
+    }
+}
+
+/// A factorised conditioning operator for one `(target, observed-set)` pair.
+///
+/// Holds the observed-block Cholesky factor, the cross-covariance row
+/// `Sigma_{T,G}`, and the (value-independent) conditional variance, so that
+/// conditioning on many different observed-value vectors costs one triangular
+/// solve each instead of one factorisation each. Produced by
+/// [`MultivariateNormal::conditioner`].
+#[derive(Debug, Clone)]
+pub struct Conditioner {
+    target_mean: f64,
+    given_means: Vec<f64>,
+    sigma_tg: Vector,
+    /// `None` when the observed set is empty (marginal conditioning).
+    chol_gg: Option<Cholesky>,
+    variance: f64,
+}
+
+impl Conditioner {
+    /// Number of observed coordinates this conditioner was built for.
+    pub fn num_given(&self) -> usize {
+        self.given_means.len()
+    }
+
+    /// The conditional variance `Sigma_bar` (independent of the observed values).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Conditional distribution of the target coordinate given the observed
+    /// values, in the same order as the `given_idx` the conditioner was built
+    /// with. Bit-for-bit identical to [`MultivariateNormal::condition_on`].
+    pub fn condition(&self, given_values: &[f64]) -> Result<Conditional1D, StatsError> {
+        if given_values.len() != self.num_given() {
+            return Err(StatsError::DimensionMismatch {
+                what: "given indices and values must have equal length",
+                left: self.num_given(),
+                right: given_values.len(),
+            });
+        }
+        let Some(chol_gg) = &self.chol_gg else {
+            return Ok(Conditional1D {
+                mean: self.target_mean,
+                variance: self.variance,
+            });
+        };
+        let diff = Vector::from_fn(self.num_given(), |j| given_values[j] - self.given_means[j]);
+        // w = Sigma_{G,G}^{-1} (x_G - mu_G)
+        let w = chol_gg
+            .solve(&diff)
+            .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        let mean = self.target_mean
+            + self
+                .sigma_tg
+                .dot(&w)
+                .map_err(|e| StatsError::Numerical(e.to_string()))?;
         Ok(Conditional1D {
             mean,
-            variance: variance.max(1e-12),
+            variance: self.variance,
         })
     }
 }
@@ -452,6 +556,63 @@ mod tests {
         assert!(mvn.condition_on(3, &[0], &[]).is_err());
         assert!(mvn.condition_on(3, &[3], &[0.5]).is_err());
         assert!(mvn.condition_on(3, &[7], &[0.5]).is_err());
+    }
+
+    #[test]
+    fn conditioner_matches_condition_on_bit_for_bit() {
+        let mvn = example_mvn();
+        let observed_sets: &[&[usize]] = &[&[], &[0], &[0, 1], &[0, 1, 2], &[2, 0]];
+        let value_sets: &[&[f64]] = &[
+            &[0.9, 0.95, 0.8],
+            &[0.2, 0.5, 0.1],
+            &[0.55, 0.61, 0.43],
+            &[0.01, 0.99, 0.5],
+        ];
+        for idx in observed_sets {
+            let conditioner = mvn.conditioner(3, idx).unwrap();
+            assert_eq!(conditioner.num_given(), idx.len());
+            for values in value_sets {
+                let values = &values[..idx.len()];
+                let via_handle = conditioner.condition(values).unwrap();
+                let direct = mvn.condition_on(3, idx, values).unwrap();
+                // Exact f64 equality: the cached factorisation must not change a bit.
+                assert_eq!(via_handle.mean, direct.mean);
+                assert_eq!(via_handle.variance, direct.variance);
+                assert_eq!(conditioner.variance(), direct.variance);
+            }
+        }
+    }
+
+    #[test]
+    fn conditioner_validation() {
+        let mvn = example_mvn();
+        assert!(mvn.conditioner(9, &[]).is_err());
+        assert!(mvn.conditioner(3, &[3]).is_err());
+        assert!(mvn.conditioner(3, &[7]).is_err());
+        let conditioner = mvn.conditioner(3, &[0, 1]).unwrap();
+        assert!(conditioner.condition(&[0.5]).is_err());
+        let empty = mvn.conditioner(3, &[]).unwrap();
+        assert!(empty.condition(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn factorization_counter_tracks_conditioner_builds() {
+        let mvn = example_mvn();
+        let before = conditioning_factorizations();
+        let conditioner = mvn.conditioner(3, &[0, 1]).unwrap();
+        // Building the conditioner factorises once…
+        assert_eq!(conditioning_factorizations(), before + 1);
+        // …and applying it any number of times adds nothing.
+        for _ in 0..5 {
+            conditioner.condition(&[0.5, 0.6]).unwrap();
+        }
+        assert_eq!(conditioning_factorizations(), before + 1);
+        // The marginal (empty mask) never factorises.
+        mvn.conditioner(3, &[]).unwrap();
+        assert_eq!(conditioning_factorizations(), before + 1);
+        // The one-shot path counts one factorisation per call.
+        mvn.condition_on(3, &[0], &[0.5]).unwrap();
+        assert_eq!(conditioning_factorizations(), before + 2);
     }
 
     #[test]

@@ -22,28 +22,44 @@ fn fast_me_cpe() -> CrossDomainSelector {
     CrossDomainSelector::new(config.cpe_only())
 }
 
-const SEEDS: [u64; 4] = [11, 23, 37, 53];
+// Several answering-noise seeds: every ordering assertion below compares
+// seed-averaged accuracies, never a single stream, so the tests survive a swap
+// of the random-number backend (see the ROADMAP "real crates swap-in" caveat).
+const SEEDS: [u64; 6] = [11, 23, 37, 53, 71, 89];
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
 
 #[test]
 fn oracle_dominates_on_expected_accuracy() {
+    // The oracle should dominate every heuristic on the seed average (per-seed
+    // orderings can flip within the answering noise; the average is stable).
     let dataset = generate(&DatasetConfig::rw1()).unwrap();
-    for seed in SEEDS {
-        let gt = evaluate_strategy(&dataset, &GroundTruthOracle::new(), seed).unwrap();
-        for strategy in [
-            &UniformSampling::new() as &dyn WorkerSelector,
-            &MedianEliminationBaseline::new(),
-            &LiEtAl::new(),
-            &fast_ours(),
-        ] {
-            let result = evaluate_strategy(&dataset, strategy, seed).unwrap();
-            assert!(
-                gt.expected_accuracy >= result.expected_accuracy - 0.02,
-                "seed {seed}: oracle {} should dominate {} ({})",
-                gt.expected_accuracy,
-                result.strategy,
-                result.expected_accuracy
-            );
-        }
+    let average = |strategy: &dyn WorkerSelector| -> f64 {
+        let per_seed: Vec<f64> = SEEDS
+            .iter()
+            .map(|&seed| {
+                evaluate_strategy(&dataset, strategy, seed)
+                    .unwrap()
+                    .expected_accuracy
+            })
+            .collect();
+        mean(&per_seed)
+    };
+    let gt = average(&GroundTruthOracle::new());
+    for strategy in [
+        &UniformSampling::new() as &dyn WorkerSelector,
+        &MedianEliminationBaseline::new(),
+        &LiEtAl::new(),
+        &fast_ours(),
+    ] {
+        let result = average(strategy);
+        assert!(
+            gt >= result - 0.02,
+            "oracle {gt} should dominate {} ({result})",
+            strategy.name(),
+        );
     }
 }
 
@@ -99,8 +115,8 @@ fn all_strategies_select_distinct_workers_within_budget() {
 fn cross_domain_signal_helps_when_budget_is_tiny() {
     // With very few golden questions per worker, observation-only baselines are
     // mostly guessing while the cross-domain profile still carries signal; the
-    // cross-domain-aware methods must stay competitive with plain ME (within the
-    // trial noise of this 4-seed average) rather than collapse.
+    // cross-domain-aware methods must stay competitive with plain ME (within
+    // the trial noise of the seed average) rather than collapse.
     let mut config = DatasetConfig::s1();
     config.tasks_per_batch = 4; // tiny budget: B = 3 * 4 * 40 = 480
     let dataset = generate(&config).unwrap();
