@@ -1,0 +1,147 @@
+//! Micro-benchmark of the closed-form Eq. 6–7 gradient oracle against the
+//! finite-difference stencil it replaced as the default.
+//!
+//! Runs the full `CrossDomainEstimator::update()` through both
+//! `CpeGradient::Analytic` and `CpeGradient::FiniteDifference` on synthetic
+//! pools of 64 and 256 workers spread over four missing-domain masks.
+//! Alongside wall-clock, it reports the *observed-block factorisation counts*
+//! per `update()` — one per unique mask per likelihood sweep, so the counts
+//! read directly as likelihood sweeps per epoch: `2 x (D+1)(D+4)/2` for the
+//! central-difference stencil against `1` for the analytic oracle (a 28x
+//! sweep reduction at `D = 3`).
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench cpe_gradient
+//! ```
+//!
+//! Honours `C4U_CPE_EPOCHS` (default 10) like the other bench targets, so CI
+//! can run it as a fast smoke with `C4U_CPE_EPOCHS=2`.
+
+use c4u_bench::cpe_epochs;
+use c4u_crowd_sim::HistoricalProfile;
+use c4u_selection::{CpeConfig, CpeGradient, CpeObservation, CrossDomainEstimator};
+use c4u_stats::{conditioning_factorizations, reset_conditioning_factorizations};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const NUM_DOMAINS: usize = 3;
+
+/// Deterministic synthetic pool: `workers` observations spread over four
+/// missing-domain masks (fully observed, two partial, all missing).
+fn make_observations(workers: usize) -> Vec<CpeObservation> {
+    const MASKS: [[bool; NUM_DOMAINS]; 4] = [
+        [true, true, true],
+        [true, false, true],
+        [false, true, false],
+        [false, false, false],
+    ];
+    (0..workers)
+        .map(|w| {
+            let mask = MASKS[w % MASKS.len()];
+            let base = 0.25 + 0.5 * (w as f64 / workers.max(1) as f64);
+            CpeObservation {
+                prior_accuracies: (0..NUM_DOMAINS)
+                    .map(|d| mask[d].then_some((base + 0.07 * d as f64).clamp(0.05, 0.95)))
+                    .collect(),
+                correct: 2 + (w * 7) % 8,
+                wrong: 10 - (2 + (w * 7) % 8),
+            }
+        })
+        .collect()
+}
+
+fn make_estimator(config: CpeConfig) -> CrossDomainEstimator {
+    let profiles = [
+        HistoricalProfile::complete(vec![0.9, 0.9, 0.8], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.7, 0.8, 0.6], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.5, 0.6, 0.4], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.3, 0.5, 0.2], vec![10, 10, 10]).unwrap(),
+    ];
+    let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
+    CrossDomainEstimator::from_profiles(&refs, config).unwrap()
+}
+
+fn bench_config(epochs: usize, oracle: CpeGradient) -> CpeConfig {
+    CpeConfig {
+        mean_learning_rate: 1e-4,
+        covariance_learning_rate: 1e-4,
+        epochs,
+        gradient_oracle: oracle,
+        ..Default::default()
+    }
+}
+
+fn bench_cpe_gradient(c: &mut Criterion) {
+    let epochs = cpe_epochs();
+    let oracles = [
+        ("analytic", CpeGradient::Analytic),
+        (
+            "finite_difference",
+            CpeGradient::FiniteDifference { step: 1e-5 },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("cpe_gradient_update");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for workers in [64usize, 256] {
+        let observations = make_observations(workers);
+        for (name, oracle) in oracles {
+            let config = bench_config(epochs, oracle);
+            group.bench_with_input(
+                BenchmarkId::new(name, workers),
+                &observations,
+                |b, observations| {
+                    let est = make_estimator(config);
+                    b.iter(|| {
+                        let mut fresh = est.clone();
+                        fresh.update(observations).unwrap();
+                        fresh.mean()[NUM_DOMAINS]
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Likelihood-sweep accounting: each sweep factorises once per unique
+    // non-empty mask, so the factorisation counter reads directly as sweeps.
+    println!("\nLikelihood sweeps per update() (epochs = {epochs}, via factorisation counts):");
+    println!(
+        "  {:>8} {:>18} {:>12} {:>8}",
+        "workers", "finite-difference", "analytic", "ratio"
+    );
+    for workers in [64usize, 256] {
+        let observations = make_observations(workers);
+        let mut counts = [0u64; 2];
+        let mut means = [0.0f64; 2];
+        for (slot, (_, oracle)) in oracles.iter().enumerate() {
+            let mut est = make_estimator(bench_config(epochs, *oracle));
+            reset_conditioning_factorizations();
+            est.update(&observations).unwrap();
+            counts[slot] = conditioning_factorizations();
+            means[slot] = est.mean()[NUM_DOMAINS];
+        }
+        let [analytic, fd] = counts;
+        // The two oracles walk the same surface: their end states agree to
+        // stencil accuracy (pinned tightly by tests/proptest_gradient.rs).
+        assert!(
+            (means[0] - means[1]).abs() < 1e-5,
+            "analytic {} vs finite-difference {} target mean",
+            means[0],
+            means[1]
+        );
+        println!(
+            "  {:>8} {:>18} {:>12} {:>7.1}x",
+            workers,
+            fd,
+            analytic,
+            fd as f64 / analytic.max(1) as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_cpe_gradient);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ mod reference;
 
 use c4u_bench::cpe_epochs;
 use c4u_crowd_sim::HistoricalProfile;
-use c4u_selection::{CpeConfig, CpeObservation, CrossDomainEstimator};
+use c4u_selection::{CpeConfig, CpeGradient, CpeObservation, CrossDomainEstimator};
 use c4u_stats::{conditioning_factorizations, reset_conditioning_factorizations};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reference::ReferenceEstimator;
@@ -70,6 +70,10 @@ fn bench_config(epochs: usize) -> CpeConfig {
         mean_learning_rate: 1e-4,
         covariance_learning_rate: 1e-4,
         epochs,
+        // This bench compares against the historical finite-difference
+        // reference bit for bit, so it pins the FD oracle; the analytic
+        // default is covered by the `cpe_gradient` bench.
+        gradient_oracle: CpeGradient::FiniteDifference { step: 1e-5 },
         ..Default::default()
     }
 }

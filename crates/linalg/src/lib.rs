@@ -13,7 +13,10 @@
 //!   repair loop ([`Cholesky::new_with_jitter`]) because gradient updates can push a
 //!   covariance slightly outside the PSD cone;
 //! * [`Lu`] — general square solver used by the ordinary-least-squares baseline;
-//! * triangular solves ([`solve_lower_triangular`], [`solve_upper_triangular`]).
+//! * triangular solves ([`solve_lower_triangular`], [`solve_upper_triangular`]);
+//! * packed lower-triangle parameter helpers ([`packed_index`],
+//!   [`PackedLowerTriangle`]) — the symmetric-gradient accumulation rules used
+//!   by the analytic CPE covariance gradient.
 //!
 //! Everything is implemented from scratch on top of `std`; the crate has no runtime
 //! dependencies.
@@ -37,6 +40,7 @@ mod cholesky;
 mod error;
 mod lu;
 mod matrix;
+mod packed;
 mod triangular;
 mod vector;
 
@@ -44,6 +48,7 @@ pub use cholesky::Cholesky;
 pub use error::{LinalgError, Result};
 pub use lu::{determinant, inverse, solve, Lu};
 pub use matrix::Matrix;
+pub use packed::{packed_index, packed_length, PackedLowerTriangle};
 pub use triangular::{
     solve_lower_triangular, solve_unit_lower_triangular, solve_upper_triangular,
     SINGULARITY_TOLERANCE,

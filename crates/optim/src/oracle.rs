@@ -11,11 +11,12 @@
 //!
 //! * [`FiniteDifference`] — central differences over any `Fn(&[f64]) -> f64`,
 //!   with either the relative step of [`gradient`](crate::gradient) or a fixed
-//!   absolute step ([`gradient_with_step`](crate::gradient_with_step)); this is
-//!   what the CPE estimator uses today;
+//!   absolute step ([`gradient_with_step`](crate::gradient_with_step)); the
+//!   CPE estimator keeps this as its cross-check oracle;
 //! * analytic implementations — any type computing the gradient in closed form
-//!   can implement the trait and plug into the same descent loop (the planned
-//!   Eq. 6–7 analytic CPE gradients land here).
+//!   can implement the trait and plug into the same descent loop; the
+//!   closed-form Eq. 6–7 CPE gradient (`c4u-selection`'s `AnalyticCpeOracle`,
+//!   the estimator's default) is exactly such an implementation.
 
 use crate::gradient::{gradient, gradient_with_step};
 

@@ -25,12 +25,16 @@
 //! cached conditioning factorisation per unique mask
 //! ([`c4u_stats::Conditioner`]) instead of one per worker. The gradient step of
 //! Eq. 6–7 goes through the [`c4u_optim::GradientOracle`] seam, selected by
-//! [`CpeConfig::gradient_oracle`]: today a [`c4u_optim::FiniteDifference`]
-//! oracle over the batched objective, with analytic Eq. 6–7 gradients as a
-//! planned drop-in. The numbers are bit-for-bit identical to the historical
-//! per-observation code (see `tests/kernel_equivalence.rs`); only the
-//! factorisation count changes — `O(epochs x params x unique_masks)` instead of
-//! `O(epochs x params x workers)`.
+//! [`CpeConfig::gradient_oracle`]: by default the closed-form
+//! [`kernel::gradient::AnalyticCpeOracle`] (one vectorised quadrature sweep
+//! per unique mask per epoch), with the historical
+//! [`c4u_optim::FiniteDifference`] stencil retained as a cross-check
+//! ([`CpeGradient::FiniteDifference`], pinned bit-for-bit by
+//! `tests/fd_pinned.rs` and `tests/kernel_equivalence.rs`). The
+//! finite-difference numbers are bit-for-bit identical to the historical
+//! per-observation code; the analytic oracle agrees with the stencil to
+//! stencil accuracy (`tests/proptest_gradient.rs`) while cutting likelihood
+//! sweeps per epoch from `2 x (D+1)(D+4)/2` to one.
 
 pub mod kernel;
 
@@ -42,30 +46,38 @@ use c4u_stats::{
     mean as stat_mean, nearest_positive_definite, std_dev, GaussLegendre, MultivariateNormal,
     Uniform,
 };
+use kernel::gradient::AnalyticCpeOracle;
 use kernel::CpeLikelihoodKernel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Penalty objective value substituted for evaluations that error out or come
+/// back non-finite (underflowed normaliser, parameters outside the PSD cone).
+/// Shared by both gradient oracles so they describe the same objective surface.
+pub(crate) const OBJECTIVE_PENALTY: f64 = 1e12;
 
 /// How the Eq. 6–7 gradient is produced during [`CrossDomainEstimator::update`].
 ///
 /// This is the configuration-level face of the [`c4u_optim::GradientOracle`]
 /// seam: every variant maps to an oracle implementation over the batched
-/// likelihood kernel. A closed-form analytic variant (differentiating Eq. 6–7
-/// directly) is the planned next addition.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// likelihood kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CpeGradient {
+    /// Closed-form Eq. 6–7 gradients ([`kernel::gradient::AnalyticCpeOracle`]):
+    /// one vectorised quadrature sweep per unique missing-domain mask per
+    /// epoch, backpropagated through the conditioning map. The default — it
+    /// agrees with the central-difference stencil to stencil accuracy
+    /// (`tests/proptest_gradient.rs`) at `O(1)` likelihood sweeps per epoch
+    /// instead of `2 x (D+1)(D+4)/2`.
+    #[default]
+    Analytic,
     /// Central finite differences over the marginal log-likelihood with a fixed
-    /// absolute stencil step (the historical behaviour).
+    /// absolute stencil step (the historical behaviour; kept as the cross-check
+    /// for the analytic oracle).
     FiniteDifference {
         /// Absolute step of the central-difference stencil.
         step: f64,
     },
-}
-
-impl Default for CpeGradient {
-    fn default() -> Self {
-        Self::FiniteDifference { step: 1e-5 }
-    }
 }
 
 /// Configuration of the CPE estimator.
@@ -149,6 +161,7 @@ impl CpeConfig {
             });
         }
         match self.gradient_oracle {
+            CpeGradient::Analytic => {}
             CpeGradient::FiniteDifference { step } => {
                 if step.is_nan() || step <= 0.0 {
                     return Err(SelectionError::InvalidConfig {
@@ -325,17 +338,25 @@ impl CrossDomainEstimator {
             params.extend_from_slice(&self.mean);
             params.extend(lower_triangle(&self.covariance));
 
-            let grad = {
-                let objective = |p: &[f64]| {
-                    // Negative log-likelihood of the unpacked parameters; non-finite
-                    // values are mapped to a large penalty so the numerical gradient
-                    // stays usable near the PSD boundary.
-                    self.objective_at(p, &kernel).unwrap_or(1e12)
-                };
-                match self.config.gradient_oracle {
-                    CpeGradient::FiniteDifference { step } => {
-                        FiniteDifference::with_step(objective, step).gradient(&params)
-                    }
+            let grad = match self.config.gradient_oracle {
+                CpeGradient::Analytic => {
+                    AnalyticCpeOracle::new(&kernel, d, self.config.min_variance).gradient(&params)
+                }
+                CpeGradient::FiniteDifference { step } => {
+                    let objective = |p: &[f64]| {
+                        // Negative log-likelihood of the unpacked parameters.
+                        // Both `Err` AND non-finite `Ok` values map to the
+                        // penalty: an `Ok(+inf)` (underflowed normaliser) in
+                        // the central-difference stencil would otherwise
+                        // produce `inf - inf = NaN`, and the per-parameter
+                        // clamp propagates NaN straight into the mean and
+                        // covariance.
+                        match self.objective_at(p, &kernel) {
+                            Ok(v) if v.is_finite() => v,
+                            _ => OBJECTIVE_PENALTY,
+                        }
+                    };
+                    FiniteDifference::with_step(objective, step).gradient(&params)
                 }
             };
 
@@ -616,6 +637,57 @@ mod tests {
         assert!(est.model().is_ok());
         let p = est.predict(&observations[0]).unwrap();
         assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn underflow_regime_update_stays_finite() {
+        // Counts so large that the normaliser underflows: every log Z is -inf,
+        // so the objective comes back Ok(+inf) rather than Err. Before the
+        // penalty mapping covered non-finite Ok values, the FD stencil computed
+        // `inf - inf = NaN` and the clamp pushed NaN straight into the mean and
+        // covariance; the analytic oracle must likewise skip the underflowed
+        // terms instead of poisoning the accumulator.
+        let profiles = profiles();
+        let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
+        let observations = vec![CpeObservation {
+            prior_accuracies: vec![Some(0.6), Some(0.7), Some(0.5)],
+            correct: 500_000,
+            wrong: 500_000,
+        }];
+        for oracle in [
+            CpeGradient::FiniteDifference { step: 1e-5 },
+            CpeGradient::Analytic,
+        ] {
+            let config = CpeConfig {
+                mean_learning_rate: 1e-4,
+                covariance_learning_rate: 1e-4,
+                epochs: 2,
+                gradient_oracle: oracle,
+                ..Default::default()
+            };
+            let mut est = CrossDomainEstimator::from_profiles(&refs, config).unwrap();
+            let before_mean = est.mean().to_vec();
+            est.update(&observations).unwrap();
+            assert!(
+                est.mean().iter().all(|m| m.is_finite()),
+                "{oracle:?}: NaN poisoned the mean: {:?}",
+                est.mean()
+            );
+            assert!(
+                est.covariance().as_slice().iter().all(|c| c.is_finite()),
+                "{oracle:?}: NaN poisoned the covariance"
+            );
+            // The penalty surface is flat, so the underflowed evidence moves
+            // nothing — and the model stays usable.
+            assert_eq!(est.mean(), before_mean.as_slice(), "{oracle:?}");
+            assert!(est.model().is_ok());
+        }
+    }
+
+    #[test]
+    fn analytic_oracle_is_the_default() {
+        assert_eq!(CpeGradient::default(), CpeGradient::Analytic);
+        assert_eq!(CpeConfig::default().gradient_oracle, CpeGradient::Analytic);
     }
 
     #[test]

@@ -21,12 +21,17 @@
 //!    instead of an `O(g^3)` factorisation per worker.
 //!
 //! The factorisation count per `update()` therefore drops from
-//! `O(epochs x params x workers)` to `O(epochs x params x unique_masks)`.
+//! `O(epochs x params x workers)` to `O(epochs x params x unique_masks)` —
+//! and with the closed-form Eq. 6–7 oracle of the [`gradient`] sub-layer (the
+//! default), the `params` factor disappears entirely: one vectorised sweep
+//! per unique mask per epoch.
 //! Results are **bit-for-bit identical** to the per-observation loop: the
 //! cached factorisation performs exactly the same floating-point operations,
 //! per-observation terms are accumulated in the original observation order,
 //! and `tests/kernel_equivalence.rs` pins this against a literal transcription
 //! of the historical code.
+
+pub mod gradient;
 
 use super::CpeObservation;
 use crate::SelectionError;
@@ -246,76 +251,15 @@ pub fn observed_domains(obs: &CpeObservation, num_domains: usize) -> (Vec<usize>
     (idx, values)
 }
 
-/// Computes `(log Z, E[h])` where
-/// `Z = ∫_0^1 h^C (1-h)^X N(h; mu, sigma^2) dh` and the expectation is taken
-/// under the same unnormalised density. Evaluation happens in log-space so that
-/// large answer counts cannot underflow.
-///
-/// This is the shared integrand of Eq. 5 (likelihood, via `log Z`) and Eq. 8
-/// (prediction, via `E[h]`); the kernel evaluates it once per observation per
-/// model.
-pub fn binomial_normal_moments(
-    quadrature: &GaussLegendre,
-    mu: f64,
-    sigma: f64,
-    c: f64,
-    x: f64,
-) -> (f64, f64) {
-    moments_impl(quadrature, mu, sigma, c, x, true)
-}
-
-/// `log Z` alone — the likelihood path needs only the normaliser, and skipping
-/// the posterior-mean integral halves the quadrature work per evaluation. The
-/// returned value is bit-identical to `binomial_normal_moments(...).0` (the
-/// two integrals are independent).
-pub fn binomial_normal_log_z(
-    quadrature: &GaussLegendre,
-    mu: f64,
-    sigma: f64,
-    c: f64,
-    x: f64,
-) -> f64 {
-    moments_impl(quadrature, mu, sigma, c, x, false).0
-}
-
-fn moments_impl(
-    quadrature: &GaussLegendre,
-    mu: f64,
-    sigma: f64,
-    c: f64,
-    x: f64,
-    want_mean: bool,
-) -> (f64, f64) {
-    let sigma = sigma.max(1e-6);
-    let log_integrand = |h: f64| {
-        let h = h.clamp(1e-12, 1.0 - 1e-12);
-        let z = (h - mu) / sigma;
-        c * h.ln() + x * (1.0 - h).ln()
-            - 0.5 * z * z
-            - sigma.ln()
-            - 0.5 * (2.0 * std::f64::consts::PI).ln()
-    };
-    // Locate the maximum of the log-integrand on a coarse grid for stable
-    // exponentiation.
-    let mut log_max = f64::NEG_INFINITY;
-    for i in 0..=40 {
-        let h = 0.0125 + 0.975 * (i as f64 / 40.0);
-        log_max = log_max.max(log_integrand(h));
-    }
-    if !log_max.is_finite() {
-        return (f64::NEG_INFINITY, mu.clamp(0.0, 1.0));
-    }
-    let z = quadrature.integrate(0.0, 1.0, |h| (log_integrand(h) - log_max).exp());
-    let first = if want_mean {
-        quadrature.integrate(0.0, 1.0, |h| h * (log_integrand(h) - log_max).exp())
-    } else {
-        0.0
-    };
-    if z <= 0.0 || !z.is_finite() {
-        return (f64::NEG_INFINITY, mu.clamp(0.0, 1.0));
-    }
-    (z.ln() + log_max, first / z)
-}
+// The binomial×normal integrand itself lives in `c4u_stats` (alongside its
+// closed-form derivatives, which the [`gradient`] layer consumes); the kernel
+// re-exports it so existing callers keep their import paths. The `c4u_stats`
+// implementation also carries the near-endpoint peak-bracketing fix: the
+// historical grid spanned `[0.0125, 0.9875]`, so integrands peaking inside the
+// end gaps (large `C` with `X = 0`, or vice versa) underestimated `log_max`
+// and collapsed `log Z` to `-inf`; interior-peaked integrands are bit-for-bit
+// unchanged.
+pub use c4u_stats::{binomial_normal_log_z, binomial_normal_moments};
 
 #[cfg(test)]
 mod tests {

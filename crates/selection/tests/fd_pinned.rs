@@ -1,0 +1,112 @@
+//! Pins the `CpeGradient::FiniteDifference` update output bit-for-bit to the
+//! values it produced when the oracle seam landed (PR 2), before the analytic
+//! oracle became the default.
+//!
+//! The FD oracle is the cross-check for the closed-form Eq. 6–7 gradients, so
+//! its numbers must never drift: the pinned bits below were captured from the
+//! PR-2 tree (where `FiniteDifference` *was* the default) and must survive
+//! every later change — the kernel's delegation of the binomial×normal
+//! integrand to `c4u_stats` (the near-endpoint peak-bracketing points never win
+//! the max for interior-peaked integrands, so `log Z` is unchanged), the
+//! conditional-variance floor on the Schur-complement path (inactive for
+//! well-conditioned covariances), and the non-finite-objective penalty mapping
+//! (these observations never underflow).
+
+use c4u_crowd_sim::HistoricalProfile;
+use c4u_selection::{CpeConfig, CpeGradient, CpeObservation, CrossDomainEstimator};
+
+/// Exact `f64` bits of the post-`update()` mean captured on the PR-2 tree.
+const PINNED_MEAN_BITS: [u64; 4] = [
+    4603808213621252576,
+    4605077693793012777,
+    4602898294314389516,
+    4602690248533233632,
+];
+
+/// Exact `f64` bits of the post-`update()` covariance (row-major 4x4).
+const PINNED_COV_BITS: [u64; 16] = [
+    4591156436142000206,
+    4584085846805277720,
+    4586391035903731276,
+    4568758629588779087,
+    4584085846805277720,
+    4589234965452294322,
+    4581313044257155419,
+    4580086048590941910,
+    4586391035903731276,
+    4581313044257155419,
+    4590930767946597966,
+    4586045058611892352,
+    4568758629588779087,
+    4580086048590941910,
+    4586045058611892352,
+    4590081273077219440,
+];
+
+/// Exact `f64` bits of the post-`update()` total log-likelihood.
+const PINNED_LL_BITS: u64 = 13851409114548962196;
+
+#[test]
+fn finite_difference_update_is_unchanged_from_pr2() {
+    let profiles = [
+        HistoricalProfile::complete(vec![0.9, 0.9, 0.8], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.7, 0.8, 0.6], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::complete(vec![0.5, 0.6, 0.4], vec![10, 10, 10]).unwrap(),
+        HistoricalProfile::new(vec![Some(0.4), None, Some(0.3)], vec![10, 0, 10]).unwrap(),
+    ];
+    let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
+    let config = CpeConfig {
+        mean_learning_rate: 1e-4,
+        covariance_learning_rate: 1e-4,
+        epochs: 3,
+        // Explicit: this suite pins the FD oracle, not the analytic default.
+        gradient_oracle: CpeGradient::FiniteDifference { step: 1e-5 },
+        ..Default::default()
+    };
+    let mut est = CrossDomainEstimator::from_profiles(&refs, config).unwrap();
+    let observations = vec![
+        CpeObservation {
+            prior_accuracies: vec![Some(0.9), Some(0.9), Some(0.8)],
+            correct: 9,
+            wrong: 1,
+        },
+        CpeObservation {
+            prior_accuracies: vec![Some(0.7), Some(0.8), Some(0.6)],
+            correct: 7,
+            wrong: 3,
+        },
+        CpeObservation {
+            prior_accuracies: vec![Some(0.4), None, Some(0.3)],
+            correct: 3,
+            wrong: 7,
+        },
+        CpeObservation {
+            prior_accuracies: vec![None, None, None],
+            correct: 5,
+            wrong: 5,
+        },
+    ];
+    est.update(&observations).unwrap();
+
+    let mean_bits: Vec<u64> = est.mean().iter().map(|m| m.to_bits()).collect();
+    assert_eq!(
+        mean_bits, PINNED_MEAN_BITS,
+        "mean drifted from the PR-2 pin"
+    );
+    let cov_bits: Vec<u64> = est
+        .covariance()
+        .as_slice()
+        .iter()
+        .map(|c| c.to_bits())
+        .collect();
+    assert_eq!(
+        cov_bits, PINNED_COV_BITS,
+        "covariance drifted from the PR-2 pin"
+    );
+    let ll = est.log_likelihood(&observations).unwrap();
+    assert_eq!(
+        ll.to_bits(),
+        PINNED_LL_BITS,
+        "log-likelihood drifted from the PR-2 pin (value {ll})"
+    );
+}

@@ -18,7 +18,7 @@
 mod reference;
 
 use c4u_crowd_sim::HistoricalProfile;
-use c4u_selection::{CpeConfig, CpeObservation, CrossDomainEstimator};
+use c4u_selection::{CpeConfig, CpeGradient, CpeObservation, CrossDomainEstimator};
 use c4u_stats::conditioning_factorizations;
 use reference::ReferenceEstimator;
 
@@ -59,6 +59,10 @@ fn fast_config() -> CpeConfig {
         mean_learning_rate: 1e-4,
         covariance_learning_rate: 1e-4,
         epochs: 4,
+        // The reference transcribes the historical finite-difference update, so
+        // this suite pins the FD oracle explicitly now that the estimator
+        // defaults to the analytic one.
+        gradient_oracle: CpeGradient::FiniteDifference { step: 1e-5 },
         ..Default::default()
     }
 }

@@ -60,6 +60,23 @@ impl GaussLegendre {
         self.nodes.len()
     }
 
+    /// The rule's nodes and weights mapped onto `[a, b]`, in node order.
+    ///
+    /// Summing `w * f(x)` over the returned `(x, w)` pairs reproduces
+    /// [`GaussLegendre::integrate`] up to rounding (the interval scaling is
+    /// folded into the weights). Exposed so batched callers can share per-node
+    /// work —
+    /// the CPE gradient sweep tabulates `ln x` / `ln(1 - x)` once per node for
+    /// a whole group of integrands.
+    pub fn points(&self, a: f64, b: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        self.nodes
+            .iter()
+            .zip(self.weights.iter())
+            .map(move |(&x, &w)| (mid + half * x, w * half))
+    }
+
     /// Integrates `f` over `[a, b]`.
     pub fn integrate(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
         let half = 0.5 * (b - a);

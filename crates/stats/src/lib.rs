@@ -18,6 +18,9 @@
 //! * the [`MultivariateNormal`] with conditioning ([`Conditional1D`]), sampling and
 //!   box-truncated sampling;
 //! * quadrature: [`GaussLegendre`], [`adaptive_simpson`], [`trapezoid`];
+//! * the binomial×normal integrals of the CPE likelihood and their closed-form
+//!   conditional-mean/variance derivatives: [`binomial_normal_moments`],
+//!   [`binomial_normal_log_z`], [`binomial_normal_log_z_gradients`];
 //! * descriptive statistics: [`mean`], [`std_dev`], [`quantile`],
 //!   [`pearson_correlation`], [`Histogram`], [`Summary`];
 //! * covariance utilities: [`sample_covariance`], [`covariance_to_correlation`],
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod binomial_normal;
 mod covariance;
 mod descriptive;
 mod error;
@@ -52,6 +56,9 @@ mod mvn;
 mod special;
 mod univariate;
 
+pub use binomial_normal::{
+    binomial_normal_log_z, binomial_normal_log_z_gradients, binomial_normal_moments, LogZGradient,
+};
 pub use covariance::{
     correlation_to_covariance, covariance_to_correlation, nearest_positive_definite,
     sample_correlation, sample_covariance,

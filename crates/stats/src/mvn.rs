@@ -23,6 +23,16 @@ use std::cell::Cell;
 /// falling back to clamping the last proposal into the box.
 const TRUNCATION_MAX_REJECTS: usize = 256;
 
+/// Floor applied to every conditional variance a [`Conditioner`] can produce.
+///
+/// Both conditioning paths share it: the empty-`given` marginal path (a raw
+/// covariance diagonal entry) and the Schur-complement path
+/// `Sigma_{T,T} - Sigma_{T,G} Sigma_{G,G}^{-1} Sigma_{G,T}`, which can go
+/// non-positive in floating point when the observed block is nearly singular
+/// (the jittered factorisation keeps the solve stable but cannot keep the
+/// subtraction positive).
+const CONDITIONAL_VARIANCE_FLOOR: f64 = 1e-12;
+
 thread_local! {
     /// Per-thread count of observed-block Cholesky factorisations performed by
     /// [`MultivariateNormal::conditioner`] (and therefore by
@@ -309,7 +319,8 @@ impl MultivariateNormal {
                 given_means: Vec::new(),
                 sigma_tg: Vector::zeros(0),
                 chol_gg: None,
-                variance: var_t.max(1e-12),
+                weights: Vector::zeros(0),
+                variance: var_t.max(CONDITIONAL_VARIANCE_FLOOR),
             });
         }
 
@@ -338,7 +349,8 @@ impl MultivariateNormal {
             given_means,
             sigma_tg,
             chol_gg: Some(chol_gg),
-            variance: variance.max(1e-12),
+            weights: v,
+            variance: variance.max(CONDITIONAL_VARIANCE_FLOOR),
         })
     }
 }
@@ -357,6 +369,8 @@ pub struct Conditioner {
     sigma_tg: Vector,
     /// `None` when the observed set is empty (marginal conditioning).
     chol_gg: Option<Cholesky>,
+    /// `Sigma_{G,G}^{-1} Sigma_{G,T}` (empty when the observed set is empty).
+    weights: Vector,
     variance: f64,
 }
 
@@ -371,10 +385,42 @@ impl Conditioner {
         self.variance
     }
 
+    /// The prior mean of the target coordinate this conditioner was built with.
+    pub fn target_mean(&self) -> f64 {
+        self.target_mean
+    }
+
+    /// The weight vector `alpha = Sigma_{G,G}^{-1} Sigma_{G,T}` (empty for the
+    /// marginal conditioner).
+    ///
+    /// The conditional mean is `mu_T + alpha . (x_G - mu_G)`, so `alpha` is the
+    /// Jacobian of the conditional mean in the observed values — and, with a
+    /// sign flip, in the observed-block prior means. The analytic Eq. 6–7 CPE
+    /// gradient backpropagates through the conditioner with exactly this
+    /// vector.
+    pub fn weights(&self) -> &[f64] {
+        self.weights.as_slice()
+    }
+
     /// Conditional distribution of the target coordinate given the observed
     /// values, in the same order as the `given_idx` the conditioner was built
     /// with. Bit-for-bit identical to [`MultivariateNormal::condition_on`].
     pub fn condition(&self, given_values: &[f64]) -> Result<Conditional1D, StatsError> {
+        Ok(self.condition_full(given_values)?.0)
+    }
+
+    /// [`Conditioner::condition`] plus the observed-block solve
+    /// `w = Sigma_{G,G}^{-1} (x_G - mu_G)` it computed along the way.
+    ///
+    /// `w` is the Jacobian of the conditional mean in the cross-covariance row
+    /// `Sigma_{T,G}`; together with [`Conditioner::weights`] it is everything
+    /// the analytic CPE gradient needs to map `d log Z / d(mean, variance)`
+    /// back onto the model parameters. The `Conditional1D` is bit-for-bit the
+    /// [`Conditioner::condition`] result.
+    pub fn condition_full(
+        &self,
+        given_values: &[f64],
+    ) -> Result<(Conditional1D, Vector), StatsError> {
         if given_values.len() != self.num_given() {
             return Err(StatsError::DimensionMismatch {
                 what: "given indices and values must have equal length",
@@ -383,10 +429,13 @@ impl Conditioner {
             });
         }
         let Some(chol_gg) = &self.chol_gg else {
-            return Ok(Conditional1D {
-                mean: self.target_mean,
-                variance: self.variance,
-            });
+            return Ok((
+                Conditional1D {
+                    mean: self.target_mean,
+                    variance: self.variance,
+                },
+                Vector::zeros(0),
+            ));
         };
         let diff = Vector::from_fn(self.num_given(), |j| given_values[j] - self.given_means[j]);
         // w = Sigma_{G,G}^{-1} (x_G - mu_G)
@@ -398,10 +447,13 @@ impl Conditioner {
                 .sigma_tg
                 .dot(&w)
                 .map_err(|e| StatsError::Numerical(e.to_string()))?;
-        Ok(Conditional1D {
-            mean,
-            variance: self.variance,
-        })
+        Ok((
+            Conditional1D {
+                mean,
+                variance: self.variance,
+            },
+            w,
+        ))
     }
 }
 
@@ -613,6 +665,73 @@ mod tests {
         // The one-shot path counts one factorisation per call.
         mvn.condition_on(3, &[0], &[0.5]).unwrap();
         assert_eq!(conditioning_factorizations(), before + 2);
+    }
+
+    #[test]
+    fn nearly_degenerate_covariance_keeps_conditional_variance_positive() {
+        // Two observed domains that are almost copies of each other and almost
+        // copies of the target: the observed block is nearly singular, and the
+        // Schur complement Sigma_TT - Sigma_TG Sigma_GG^-1 Sigma_GT lands at
+        // rounding distance from zero (or below it). The shared floor must keep
+        // every conditional variance strictly positive on BOTH paths.
+        let eps = 1e-9;
+        let cov = Matrix::from_rows(&[
+            vec![0.04, 0.04 - eps, 0.04 - eps],
+            vec![0.04 - eps, 0.04, 0.04 - eps],
+            vec![0.04 - eps, 0.04 - eps, 0.04],
+        ])
+        .unwrap();
+        let mvn = MultivariateNormal::new(Vector::from_slice(&[0.5, 0.5, 0.5]), cov).unwrap();
+        // Non-empty path (Schur complement).
+        for idx in [&[0usize][..], &[0, 1][..]] {
+            let conditioner = mvn.conditioner(2, idx).unwrap();
+            assert!(
+                conditioner.variance() > 0.0,
+                "variance {} for idx {idx:?}",
+                conditioner.variance()
+            );
+            let values = vec![0.5; idx.len()];
+            let cond = conditioner.condition(&values).unwrap();
+            assert!(cond.variance > 0.0);
+            assert!(cond.std_dev().is_finite() && cond.std_dev() > 0.0);
+            assert!(cond.mean.is_finite());
+        }
+        // Empty path (marginal), for symmetry with the floor on the raw diagonal.
+        let marginal = mvn.conditioner(2, &[]).unwrap();
+        assert!(marginal.variance() >= 1e-12);
+    }
+
+    #[test]
+    fn condition_full_matches_condition_and_exposes_the_solve() {
+        let mvn = example_mvn();
+        let conditioner = mvn.conditioner(3, &[0, 2]).unwrap();
+        let values = [0.8, 0.45];
+        let direct = conditioner.condition(&values).unwrap();
+        let (full, w) = conditioner.condition_full(&values).unwrap();
+        // Exact equality: condition() is condition_full() minus the solve.
+        assert_eq!(direct.mean, full.mean);
+        assert_eq!(direct.variance, full.variance);
+        assert_eq!(w.len(), 2);
+        // The solve reproduces the conditional mean through the cross-covariance
+        // row: mean = mu_T + Sigma_TG . w.
+        let sigma_tg = [mvn.covariance()[(3, 0)], mvn.covariance()[(3, 2)]];
+        let rebuilt = mvn.mean()[3] + sigma_tg[0] * w[0] + sigma_tg[1] * w[1];
+        assert!((rebuilt - full.mean).abs() < 1e-12);
+        // weights() is the value-independent Jacobian of the conditional mean.
+        let alpha = conditioner.weights();
+        assert_eq!(alpha.len(), 2);
+        let bumped = conditioner
+            .condition(&[values[0] + 1e-3, values[1]])
+            .unwrap();
+        assert!(((bumped.mean - full.mean) / 1e-3 - alpha[0]).abs() < 1e-6);
+        assert_eq!(conditioner.target_mean(), mvn.mean()[3]);
+        // The marginal conditioner has no weights and an empty solve.
+        let marginal = mvn.conditioner(3, &[]).unwrap();
+        assert!(marginal.weights().is_empty());
+        let (cond, w) = marginal.condition_full(&[]).unwrap();
+        assert_eq!(cond.mean, mvn.mean()[3]);
+        assert_eq!(w.len(), 0);
+        assert!(marginal.condition_full(&[0.5]).is_err());
     }
 
     #[test]
