@@ -1,0 +1,171 @@
+//! Wall-clock scaling of the worker-range sharding layer on a large pool.
+//!
+//! ROADMAP's "sharded worker pools" item targets pools of `10^4`–`10^5+`
+//! workers, where a single round of Algorithm 4 — answering the shared golden
+//! slice and scoring every worker — dominates the budget. This bench times the
+//! two sharded seams on a 10,000-worker pool:
+//!
+//! * `assign` — [`Platform::assign_learning_batch_sharded`]: the platform
+//!   answers one 100-task golden batch for every worker, fanned out over
+//!   1/2/4/8 contiguous worker ranges (per-worker RNG streams make every
+//!   layout bit-for-bit identical, which the bench asserts);
+//! * `predict` — [`CrossDomainEstimator::predict_batch_sharded`]: the Eq. 8
+//!   posterior-mean prediction for every worker, the per-worker scoring pass
+//!   of the round loop.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench platform_shards
+//! ```
+//!
+//! A summary table of min-time speedups versus the single-shard layout is
+//! printed after the criterion rows. Speedup saturates at the machine's core
+//! count (CI smoke runners typically have 2–4), not at the shard count.
+
+use c4u_crowd_sim::{generate, DatasetConfig, Platform, WorkerShards};
+use c4u_selection::{CpeConfig, CpeObservation, CrossDomainEstimator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+/// Pool size of the scaling study (`10^4`; Table II tops out at 160).
+const POOL: usize = 10_000;
+/// Golden questions per worker per timed round.
+const TASKS: usize = 100;
+/// Shard counts to sweep.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The 10^4-worker dataset: S-1 accuracy moments, scaled pool.
+fn xl_config() -> DatasetConfig {
+    let mut config = DatasetConfig::s1();
+    config.name = "S-XL".into();
+    config.pool_size = POOL;
+    config.select_k = 100;
+    config.working_tasks = 50;
+    config
+}
+
+fn bench_platform_shards(c: &mut Criterion) {
+    let dataset = generate(&xl_config()).expect("valid XL dataset");
+    let pristine = Platform::from_dataset(&dataset, 11).expect("platform");
+    let ids = pristine.worker_ids();
+
+    let mut group = c.benchmark_group("platform_shards_assign");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for num_shards in SHARD_COUNTS {
+        let shards = WorkerShards::by_count(ids.len(), num_shards);
+        group.bench_with_input(
+            BenchmarkId::new("assign", num_shards),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    // Fresh platform per round so the budget never runs out;
+                    // the clone is identical across shard counts.
+                    let mut p = pristine.clone();
+                    p.assign_learning_batch_sharded(&ids, TASKS, shards)
+                        .unwrap()
+                        .sheets
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The per-worker scoring seam: Eq. 8 predictions for the whole pool.
+    let profiles = pristine.profiles();
+    let estimator =
+        CrossDomainEstimator::from_profiles(&profiles, CpeConfig::default()).expect("estimator");
+    let observations: Vec<CpeObservation> = profiles
+        .iter()
+        .enumerate()
+        .map(|(w, p)| CpeObservation::from_profile(p, 3 + w % 8, 10 - 3 - w % 8))
+        .collect();
+    let mut group = c.benchmark_group("platform_shards_predict");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for num_shards in SHARD_COUNTS {
+        let shards = WorkerShards::by_count(observations.len(), num_shards);
+        group.bench_with_input(
+            BenchmarkId::new("predict", num_shards),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    estimator
+                        .predict_batch_sharded(&observations, shards)
+                        .unwrap()
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Summary: min-time speedup vs. the single-shard layout, plus the
+    // bit-for-bit identity check across layouts.
+    let min_time = |f: &mut dyn FnMut()| {
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    println!(
+        "\nWorker-range sharding on |W| = {POOL} (min of 3, speedup vs 1 shard; \
+         this machine offers {} hardware thread(s) — speedup saturates there):",
+        c4u_crowd_sim::parallel::available_threads()
+    );
+    println!(
+        "  {:>8} {:>14} {:>9} {:>14} {:>9}",
+        "shards", "assign", "speedup", "predict", "speedup"
+    );
+    let mut reference_sheets = None;
+    let mut assign_base = Duration::ZERO;
+    let mut predict_base = Duration::ZERO;
+    for num_shards in SHARD_COUNTS {
+        let shards = WorkerShards::by_count(ids.len(), num_shards);
+        let mut record = None;
+        let assign = min_time(&mut || {
+            let mut p = pristine.clone();
+            record = Some(
+                p.assign_learning_batch_sharded(&ids, TASKS, &shards)
+                    .unwrap(),
+            );
+        });
+        let mut predictions = Vec::new();
+        let predict = min_time(&mut || {
+            predictions = estimator
+                .predict_batch_sharded(&observations, &shards)
+                .unwrap();
+        });
+        // Any layout must reproduce the single-shard records exactly.
+        let record = record.expect("assign ran").sheets;
+        match &reference_sheets {
+            None => {
+                reference_sheets = Some(record);
+                assign_base = assign;
+                predict_base = predict;
+            }
+            Some(reference) => assert_eq!(
+                reference, &record,
+                "{num_shards}-shard sheets diverged from the single-shard layout"
+            ),
+        }
+        println!(
+            "  {:>8} {:>14.2?} {:>8.2}x {:>14.2?} {:>8.2}x",
+            num_shards,
+            assign,
+            assign_base.as_secs_f64() / assign.as_secs_f64(),
+            predict,
+            predict_base.as_secs_f64() / predict.as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(benches, bench_platform_shards);
+criterion_main!(benches);

@@ -13,7 +13,11 @@
 //!
 //! * `C4U_CPE_EPOCHS` — gradient-descent epochs per CPE round (default 10; the paper
 //!   uses 50, which scales the runtime accordingly without changing the rankings);
-//! * `C4U_TRIALS` — number of answering-noise seeds averaged per cell (default 2).
+//! * `C4U_TRIALS` — number of answering-noise seeds averaged per cell (default 2);
+//! * `C4U_SHARDS` — worker-range shards per selection round (default 1). Every
+//!   value produces bit-for-bit identical selections (per-worker RNG streams);
+//!   larger values trade scoped threads for wall-clock on big pools, so table
+//!   numbers never depend on the setting.
 //!
 //! Dataset generation is memoised process-wide ([`cached_generate`]): sweep
 //! cells sharing a configuration share one generated dataset, so a table that
@@ -54,6 +58,17 @@ pub fn trials() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&v| v > 0)
         .unwrap_or(DEFAULT_TRIALS)
+}
+
+/// Reads `C4U_SHARDS` (default 1): the worker-range shard count handed to
+/// every [`CrossDomainSelector`] the harness builds. The selection is
+/// identical for every value; only the wall-clock changes.
+pub fn num_shards() -> usize {
+    std::env::var("C4U_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1)
 }
 
 /// The answering-noise seeds used for a given number of trials.
@@ -109,6 +124,7 @@ impl StrategyKind {
         let mut config = SelectorConfig::default();
         config.cpe.epochs = epochs;
         config.cpe.initial_target_accuracy = initial_target_accuracy;
+        config.num_shards = num_shards();
         match self {
             StrategyKind::UniformSampling => Box::new(UniformSampling::new()),
             StrategyKind::MedianElimination => Box::new(MedianEliminationBaseline::new()),
@@ -281,9 +297,7 @@ pub fn evaluate_cell(spec: &CellSpec) -> Cell {
 /// ([`c4u_selection::run_indexed_jobs`]); the results come back in cell order,
 /// making the output identical to a sequential evaluation.
 pub fn evaluate_cells(specs: &[CellSpec]) -> Vec<Cell> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = c4u_crowd_sim::parallel::available_threads();
     let result: Result<Vec<Cell>, Infallible> =
         c4u_selection::run_indexed_jobs(threads, specs.len(), |index| {
             Ok(evaluate_cell(&specs[index]))
@@ -337,6 +351,7 @@ mod tests {
     fn environment_defaults() {
         assert!(cpe_epochs() >= 1);
         assert!(trials() >= 1);
+        assert!(num_shards() >= 1);
         assert_eq!(trial_seeds(3).len(), 3);
         assert_ne!(trial_seeds(2)[0], trial_seeds(2)[1]);
     }

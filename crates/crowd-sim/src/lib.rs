@@ -17,7 +17,16 @@
 //!   along the modified IRT curve as learning-task ground truths are revealed;
 //! * [`Platform`] — batch assignment, answer recording, ground-truth reveal, budget
 //!   accounting, and working-task evaluation, the interface every selection strategy
-//!   drives;
+//!   drives. Answering noise comes from one deterministic RNG stream per
+//!   (round, worker) event, so results never depend on processing order;
+//! * [`WorkerShards`] + the sharded platform paths
+//!   ([`Platform::assign_learning_batch_sharded`],
+//!   [`Platform::evaluate_working_accuracy_sharded`]) — worker-range
+//!   partitioning for pools of `10^4+` workers, parallel per shard on scoped
+//!   threads and bit-for-bit identical for every layout;
+//! * [`parallel`] — the workspace's scoped-thread work queue
+//!   ([`run_indexed_jobs`]), shared by the platform shards, the selection
+//!   crate's evaluation engine, and the bench harness;
 //! * [`consistency`](crate::consistency_report) helpers — the Table IV moment and
 //!   Pearson-correlation comparisons;
 //! * [`to_text`] / [`from_text`] — plain-text dataset archival.
@@ -47,7 +56,9 @@ mod domain;
 mod error;
 mod generator;
 mod io;
+pub mod parallel;
 mod platform;
+mod shard;
 mod task;
 mod worker;
 
@@ -61,6 +72,8 @@ pub use domain::{Domain, DomainDescriptor, FeatureKind};
 pub use error::SimError;
 pub use generator::{build_population_model, generate, generate_replicas};
 pub use io::{from_text, to_text};
+pub use parallel::run_indexed_jobs;
 pub use platform::{Platform, RoundRecord};
+pub use shard::WorkerShards;
 pub use task::{AnswerSheet, Task, TaskKind, TaskPool};
 pub use worker::{HistoricalProfile, SimulatedWorker, WorkerId, WorkerSpec};

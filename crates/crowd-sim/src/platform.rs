@@ -12,16 +12,68 @@
 //!    working tasks and report their average accuracy, the evaluation criterion of
 //!    Sec. V-C.
 //!
-//! The platform is strategy-agnostic: the core algorithm and every baseline drive it
-//! through the same interface, so all of them see identical workers, identical tasks,
-//! and an identical budget.
+//! Both operations exist in a sharded form
+//! ([`Platform::assign_learning_batch_sharded`],
+//! [`Platform::evaluate_working_accuracy_sharded`]) that processes contiguous
+//! [`WorkerShards`] ranges on scoped threads and merges the per-shard results
+//! back in worker order. The platform is strategy-agnostic: the core algorithm
+//! and every baseline drive it through the same interface, so all of them see
+//! identical workers, identical tasks, and an identical budget.
+//!
+//! ## Randomness: one deterministic stream per worker event
+//!
+//! The answering noise is **not** drawn from one shared generator. Every
+//! (round, worker) pair derives its own [`StdRng`] stream from the platform
+//! seed via a SplitMix64-style key derivation ([`Platform::new`]'s `seed`,
+//! a stream tag separating learning from working answers, the round/evaluation
+//! counter, and the worker id). Consequences:
+//!
+//! * a fixed seed reproduces every answer exactly, on every platform;
+//! * answers are independent of the *order* in which workers are processed and
+//!   of the shard layout — `assign_learning_batch` and
+//!   `assign_learning_batch_sharded` are **bit-for-bit identical** for any
+//!   shard count and any thread interleaving (pinned by
+//!   `tests/shard_equivalence.rs`);
+//! * all workers in a round answer at their pre-round accuracy, exactly as in
+//!   Algorithm 4 line 5 (one shared slice of golden questions assigned to the
+//!   surviving pool simultaneously); the revealed ground truth is applied
+//!   after the round's sheets are complete.
 
 use crate::dataset::Dataset;
+use crate::parallel::run_indexed_jobs;
+use crate::shard::WorkerShards;
 use crate::task::AnswerSheet;
 use crate::worker::{HistoricalProfile, SimulatedWorker, WorkerId};
 use crate::SimError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stream tag of the learning-task answering noise (one stream family per
+/// training round).
+const STREAM_LEARNING: u64 = 0x4C45_4152;
+/// Stream tag of the working-task answering noise (one stream family per
+/// evaluation call).
+const STREAM_WORKING: u64 = 0x574F_524B;
+
+/// SplitMix64 finaliser: the bijective avalanche mix of Steele et al., also
+/// used by the vendored `StdRng`'s seeding.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the answering seed of one (stream family, epoch, worker) event from
+/// the platform seed: each component is absorbed through a SplitMix64 step, so
+/// distinct events get statistically independent `StdRng` streams.
+fn worker_stream_seed(base: u64, tag: u64, epoch: u64, worker: u64) -> u64 {
+    let mut acc = base;
+    for part in [tag, epoch, worker] {
+        acc = mix64(acc.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(part));
+    }
+    acc
+}
 
 /// Record of one training assignment (one strategy round).
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +113,12 @@ pub struct Platform {
     workers: Vec<SimulatedWorker>,
     learning_gold: Vec<bool>,
     working_gold: Vec<bool>,
-    rng: StdRng,
+    /// Base seed of the per-worker answering streams (see the module docs).
+    seed: u64,
+    /// Number of working-task evaluations run so far — the epoch component of
+    /// the working-answer stream family, so repeated evaluations draw fresh
+    /// noise.
+    evaluations_run: usize,
     budget_total: usize,
     budget_spent: usize,
     learning_cursor: usize,
@@ -99,7 +156,8 @@ impl Platform {
                 .iter()
                 .map(|t| t.gold)
                 .collect(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            evaluations_run: 0,
             budget_total: dataset.config.budget(),
             budget_spent: 0,
             learning_cursor: 0,
@@ -186,7 +244,13 @@ impl Platform {
     /// Assigns the next `tasks_per_worker` learning tasks to every worker in
     /// `worker_ids`, records their answers, and reveals the ground truth so they
     /// learn. All listed workers receive the *same* tasks, exactly as in Algorithm 4
-    /// (line 5: one shared slice of golden questions per round).
+    /// (line 5: one shared slice of golden questions per round), and all of them
+    /// answer at their pre-round accuracy — the learning update is applied after
+    /// the round's sheets are complete.
+    ///
+    /// This is the single-shard layout of
+    /// [`Platform::assign_learning_batch_sharded`], which it delegates to; the
+    /// two are bit-for-bit identical for every shard count.
     ///
     /// Returns an error if a worker id is unknown or if the assignment would exceed
     /// the total budget. The learning-task pool is treated as circular: if the cursor
@@ -197,6 +261,36 @@ impl Platform {
         worker_ids: &[WorkerId],
         tasks_per_worker: usize,
     ) -> Result<RoundRecord, SimError> {
+        self.assign_learning_batch_sharded(
+            worker_ids,
+            tasks_per_worker,
+            &WorkerShards::single(worker_ids.len()),
+        )
+    }
+
+    /// [`Platform::assign_learning_batch`] over an explicit worker-range
+    /// partition: each shard's answer sheets are produced independently on a
+    /// scoped thread (per-worker RNG streams make the result independent of
+    /// the shard layout) and merged back in worker order, after which the
+    /// learning updates are applied.
+    ///
+    /// `shards` must partition exactly `worker_ids.len()` positions
+    /// ([`WorkerShards::by_count`] / [`WorkerShards::by_size`] over the same
+    /// length always do). Passing the same worker id twice in one round draws
+    /// the same answer stream twice — worker streams are keyed by (round,
+    /// worker id), not by list position.
+    pub fn assign_learning_batch_sharded(
+        &mut self,
+        worker_ids: &[WorkerId],
+        tasks_per_worker: usize,
+        shards: &WorkerShards,
+    ) -> Result<RoundRecord, SimError> {
+        if shards.len() != worker_ids.len() {
+            return Err(SimError::InvalidConfig {
+                what: "shard partition must cover the worker list exactly",
+                value: shards.len() as f64,
+            });
+        }
         if worker_ids.is_empty() || tasks_per_worker == 0 {
             let record = RoundRecord {
                 round: self.history.len() + 1,
@@ -232,10 +326,15 @@ impl Platform {
             .map(|i| self.learning_gold[(self.learning_cursor + i) % self.learning_gold.len()])
             .collect();
 
-        let mut sheets = Vec::with_capacity(worker_ids.len());
-        for &id in worker_ids {
-            let sheet = self.workers[id].answer_learning_batch(&mut self.rng, &gold)?;
-            sheets.push(sheet);
+        // Answering phase: immutable over the worker pool, one scoped thread
+        // per shard, sheets merged back in worker order.
+        let round = self.history.len() as u64 + 1;
+        let sheets = self.answer_sharded(worker_ids, shards, &gold, STREAM_LEARNING, round)?;
+
+        // Learning phase: reveal the ground truth and move every participant
+        // along its learning curve (cheap, O(1) per worker — kept sequential).
+        for sheet in &sheets {
+            self.workers[sheet.worker].learn_from_batch(sheet)?;
         }
 
         let record = RoundRecord {
@@ -250,19 +349,103 @@ impl Platform {
         Ok(record)
     }
 
+    /// Produces one answer sheet per listed worker against the shared `gold`
+    /// slice, fanning the shards out over scoped threads. Workers answer with
+    /// their *current* accuracy from their own derived RNG stream, so the
+    /// merged result is independent of the shard layout.
+    fn answer_sharded(
+        &self,
+        worker_ids: &[WorkerId],
+        shards: &WorkerShards,
+        gold: &[bool],
+        stream_tag: u64,
+        epoch: u64,
+    ) -> Result<Vec<AnswerSheet>, SimError> {
+        // One scoped thread per shard: the shard count *is* the parallelism
+        // budget (mirroring `EvalEngine::with_threads`), so callers size it to
+        // their cores and single-shard layouts stay strictly sequential.
+        let per_shard: Vec<Vec<AnswerSheet>> =
+            run_indexed_jobs(shards.num_shards(), shards.num_shards(), |shard| {
+                worker_ids[shards.range(shard)]
+                    .iter()
+                    .map(|&id| {
+                        let mut rng = StdRng::seed_from_u64(worker_stream_seed(
+                            self.seed, stream_tag, epoch, id as u64,
+                        ));
+                        let answers = self.workers[id].answer_tasks(&mut rng, gold);
+                        AnswerSheet::new(id, answers, gold.to_vec())
+                    })
+                    .collect()
+            })?;
+        let mut sheets = Vec::with_capacity(worker_ids.len());
+        for shard_sheets in per_shard {
+            sheets.extend(shard_sheets);
+        }
+        Ok(sheets)
+    }
+
     /// Has every worker in `worker_ids` annotate the full working-task pool and
     /// returns their average observed accuracy — the evaluation criterion of the
     /// paper (Sec. V-C). Working tasks never reveal their ground truth, so this does
-    /// not train the workers and does not consume budget.
+    /// not train the workers and does not consume budget. Repeated evaluations
+    /// draw fresh answering noise (the evaluation counter is part of the
+    /// stream derivation).
+    ///
+    /// Delegates to [`Platform::evaluate_working_accuracy_sharded`] with the
+    /// single-shard layout; the two are bit-for-bit identical for every shard
+    /// count.
     pub fn evaluate_working_accuracy(&mut self, worker_ids: &[WorkerId]) -> Result<f64, SimError> {
+        self.evaluate_working_accuracy_sharded(worker_ids, &WorkerShards::single(worker_ids.len()))
+    }
+
+    /// [`Platform::evaluate_working_accuracy`] over an explicit worker-range
+    /// partition: per-shard annotation runs on scoped threads, and the
+    /// per-worker accuracies are averaged in worker order so the float
+    /// accumulation — like everything else — is independent of the shard
+    /// layout.
+    pub fn evaluate_working_accuracy_sharded(
+        &mut self,
+        worker_ids: &[WorkerId],
+        shards: &WorkerShards,
+    ) -> Result<f64, SimError> {
+        if shards.len() != worker_ids.len() {
+            return Err(SimError::InvalidConfig {
+                what: "shard partition must cover the worker list exactly",
+                value: shards.len() as f64,
+            });
+        }
         if worker_ids.is_empty() {
             return Ok(0.0);
         }
-        let mut total = 0.0;
         for &id in worker_ids {
-            let worker = self.workers.get(id).ok_or(SimError::UnknownWorker { id })?;
-            let sheet = worker.answer_working_batch(&mut self.rng, &self.working_gold)?;
-            total += sheet.accuracy();
+            if id >= self.workers.len() {
+                return Err(SimError::UnknownWorker { id });
+            }
+        }
+        let epoch = self.evaluations_run as u64;
+        self.evaluations_run += 1;
+        let num_shards = shards.num_shards();
+        let per_shard: Vec<Vec<f64>> = run_indexed_jobs(num_shards, num_shards, |shard| {
+            worker_ids[shards.range(shard)]
+                .iter()
+                .map(|&id| {
+                    let mut rng = StdRng::seed_from_u64(worker_stream_seed(
+                        self.seed,
+                        STREAM_WORKING,
+                        epoch,
+                        id as u64,
+                    ));
+                    self.workers[id]
+                        .answer_working_batch(&mut rng, &self.working_gold)
+                        .map(|sheet| sheet.accuracy())
+                })
+                .collect::<Result<Vec<f64>, SimError>>()
+        })?;
+        // Accumulate in worker order (shard order == worker order), so the sum
+        // is the same float expression for every shard layout.
+        let mut total = 0.0;
+        for accuracy in per_shard.iter().flatten() {
+            total += accuracy;
         }
         Ok(total / worker_ids.len() as f64)
     }
@@ -408,6 +591,18 @@ mod tests {
     }
 
     #[test]
+    fn repeated_evaluations_draw_fresh_noise() {
+        let mut p = platform();
+        let ids = p.worker_ids();
+        let first = p.evaluate_working_accuracy(&ids).unwrap();
+        let second = p.evaluate_working_accuracy(&ids).unwrap();
+        // Same pool, same true accuracies — but a fresh evaluation epoch, so
+        // the observed accuracies differ (while staying close in expectation).
+        assert_ne!(first, second);
+        assert!((first - second).abs() < 0.2);
+    }
+
+    #[test]
     fn history_accumulates_in_order() {
         let mut p = platform();
         let ids = p.worker_ids();
@@ -437,5 +632,58 @@ mod tests {
         let (truth_b, obs_b) = run(4);
         assert_eq!(truth_a, truth_b);
         assert_ne!(obs_a, obs_b);
+    }
+
+    #[test]
+    fn sharded_assignment_matches_unsharded_for_any_layout() {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let reference = {
+            let mut p = Platform::from_dataset(&ds, 5).unwrap();
+            let ids = p.worker_ids();
+            p.assign_learning_batch(&ids, 10).unwrap()
+        };
+        for num_shards in [1usize, 3, 16, 64] {
+            let mut p = Platform::from_dataset(&ds, 5).unwrap();
+            let ids = p.worker_ids();
+            let shards = WorkerShards::by_count(ids.len(), num_shards);
+            let record = p.assign_learning_batch_sharded(&ids, 10, &shards).unwrap();
+            assert_eq!(record, reference, "{num_shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_paths_reject_mismatched_partitions() {
+        let mut p = platform();
+        let ids = p.worker_ids();
+        let wrong = WorkerShards::by_count(ids.len() + 1, 2);
+        assert!(matches!(
+            p.assign_learning_batch_sharded(&ids, 5, &wrong),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            p.evaluate_working_accuracy_sharded(&ids, &wrong),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn answer_order_is_independent_of_worker_order() {
+        // Per-worker streams: permuting the worker list permutes the sheets
+        // but never changes any individual worker's answers.
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut forward = Platform::from_dataset(&ds, 9).unwrap();
+        let ids = forward.worker_ids();
+        let record_fwd = forward.assign_learning_batch(&ids, 10).unwrap();
+        let mut reversed = Platform::from_dataset(&ds, 9).unwrap();
+        let rev_ids: Vec<WorkerId> = ids.iter().rev().copied().collect();
+        let record_rev = reversed.assign_learning_batch(&rev_ids, 10).unwrap();
+        for sheet in &record_fwd.sheets {
+            let mirrored = record_rev
+                .sheets
+                .iter()
+                .find(|s| s.worker == sheet.worker)
+                .unwrap();
+            assert_eq!(sheet, mirrored);
+        }
     }
 }

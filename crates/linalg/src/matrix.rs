@@ -392,17 +392,17 @@ impl Matrix {
         Self::from_fn(u.len(), v.len(), |i, j| u[i] * v[j])
     }
 
-    /// Factorises the matrix once into a reusable [`Cholesky`] handle.
+    /// Factorises the matrix once into a reusable [`Cholesky`](crate::Cholesky) handle.
     ///
     /// The handle amortises the `O(n^3)` factorisation over arbitrarily many
-    /// `O(n^2)` [`Cholesky::solve`] applications ("factorise once, solve
+    /// `O(n^2)` [`Cholesky::solve`](crate::Cholesky::solve) applications ("factorise once, solve
     /// many").
     pub fn cholesky(&self) -> Result<crate::Cholesky> {
         crate::Cholesky::new(self)
     }
 
     /// Like [`Matrix::cholesky`], with the diagonal-jitter repair loop of
-    /// [`Cholesky::new_with_jitter`] for matrices sitting on the PSD boundary.
+    /// [`Cholesky::new_with_jitter`](crate::Cholesky::new_with_jitter) for matrices sitting on the PSD boundary.
     ///
     /// This is how `c4u_stats::Conditioner` builds its cached observed-block
     /// factor, which the batched CPE kernel then applies to every worker

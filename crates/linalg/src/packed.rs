@@ -30,6 +30,23 @@ pub fn packed_index(i: usize, j: usize) -> usize {
 
 /// A gradient (or any other additive quantity) accumulated over the packed
 /// lower triangle of an `n x n` symmetric matrix.
+///
+/// This is the covariance parameterisation of the paper's Eq. 7 update: the
+/// CPE estimator optimises one parameter per symmetric entry of `Sigma`, and
+/// the analytic Eq. 6–7 gradient accumulates into exactly this layout.
+///
+/// ```
+/// use c4u_linalg::{packed_index, PackedLowerTriangle};
+///
+/// let mut grad = PackedLowerTriangle::zeros(3);
+/// grad.add(2, 0, 1.5).unwrap();
+/// grad.add(0, 2, 0.5).unwrap();          // mirror position — same parameter
+/// assert_eq!(grad.as_slice()[packed_index(2, 0)], 2.0);
+/// // Symmetrised rank-one rule: d/dA of x^T A x on the subset {1, 2}.
+/// grad.add_sym_outer(1.0, &[1, 2], &[2.0, 3.0], &[2.0, 3.0]).unwrap();
+/// assert_eq!(grad.as_slice()[packed_index(2, 1)], 12.0);   // 2 * x_1 * x_2
+/// assert_eq!(grad.to_matrix()[(1, 2)], 12.0);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PackedLowerTriangle {
     dim: usize,

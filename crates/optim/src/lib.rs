@@ -6,9 +6,11 @@
 //! Three estimation problems in the paper need an optimiser:
 //!
 //! 1. the Maximum Likelihood Estimation of the cross-domain mean vector and
-//!    covariance matrix (Eq. 5–7), solved by [`GradientDescent`] over a
-//!    [`GradientOracle`] — today the [`FiniteDifference`] central-difference
-//!    oracle, with the trait as the seam for the closed-form Eq. 6–7 gradients;
+//!    covariance matrix (Eq. 5–7), driven through the [`GradientOracle`] seam:
+//!    the selection crate's closed-form Eq. 6–7 oracle (`AnalyticCpeOracle`)
+//!    is the default, with the [`FiniteDifference`] central-difference oracle
+//!    retained as its cross-check, and [`GradientDescent`] as the
+//!    single-learning-rate descent driver;
 //! 2. the per-worker learning-parameter fit of the Learning Gain Estimation
 //!    (Eq. 11), a one-dimensional least-squares problem solved by
 //!    [`minimize_scalar`] (golden-section search plus Newton polish);

@@ -39,7 +39,8 @@
 pub mod kernel;
 
 use crate::SelectionError;
-use c4u_crowd_sim::HistoricalProfile;
+use c4u_crowd_sim::parallel::run_indexed_jobs;
+use c4u_crowd_sim::{HistoricalProfile, WorkerShards};
 use c4u_linalg::{Matrix, Vector};
 use c4u_optim::{FiniteDifference, GradientOracle};
 use c4u_stats::{
@@ -411,6 +412,43 @@ impl CrossDomainEstimator {
         let kernel =
             CpeLikelihoodKernel::new(observations, self.num_prior_domains, &self.quadrature);
         kernel.predict(&self.model()?, self.config.use_posterior_prediction)
+    }
+
+    /// [`Self::predict_batch`] over an explicit worker-range partition: each
+    /// shard's observations are mask-grouped and predicted independently on a
+    /// scoped thread, and the per-shard predictions are concatenated back in
+    /// observation order.
+    ///
+    /// Every Eq. 8 prediction depends only on its own observation and the
+    /// (shared, immutable) model, so the result is **identical** to the
+    /// unsharded path for every shard layout — the shard boundary changes
+    /// which workers share a conditioning factorisation, never any predicted
+    /// value. `shards` must partition exactly `observations.len()` positions.
+    pub fn predict_batch_sharded(
+        &self,
+        observations: &[CpeObservation],
+        shards: &WorkerShards,
+    ) -> Result<Vec<f64>, SelectionError> {
+        if shards.len() != observations.len() {
+            return Err(SelectionError::InvalidConfig {
+                what: "shard partition must cover the observations exactly",
+                value: shards.len() as f64,
+            });
+        }
+        if shards.num_shards() <= 1 {
+            return self.predict_batch(observations);
+        }
+        let model = self.model()?;
+        let num_shards = shards.num_shards();
+        let per_shard: Vec<Vec<f64>> = run_indexed_jobs(num_shards, num_shards, |shard| {
+            let kernel = CpeLikelihoodKernel::new(
+                &observations[shards.range(shard)],
+                self.num_prior_domains,
+                &self.quadrature,
+            );
+            kernel.predict(&model, self.config.use_posterior_prediction)
+        })?;
+        Ok(per_shard.into_iter().flatten().collect())
     }
 }
 

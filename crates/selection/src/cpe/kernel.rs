@@ -30,6 +30,39 @@
 //! per-observation terms are accumulated in the original observation order,
 //! and `tests/kernel_equivalence.rs` pins this against a literal transcription
 //! of the historical code.
+//!
+//! ## Usage
+//!
+//! ```
+//! use c4u_linalg::{Matrix, Vector};
+//! use c4u_selection::{CpeLikelihoodKernel, CpeObservation};
+//! use c4u_stats::{GaussLegendre, MultivariateNormal};
+//!
+//! // Three workers over two prior domains; the middle one has a domain gap
+//! // (Sec. IV-E), so the kernel groups them into two observed-domain masks.
+//! let observations = vec![
+//!     CpeObservation { prior_accuracies: vec![Some(0.8), Some(0.7)], correct: 8, wrong: 2 },
+//!     CpeObservation { prior_accuracies: vec![Some(0.5), None],      correct: 4, wrong: 6 },
+//!     CpeObservation { prior_accuracies: vec![Some(0.6), Some(0.5)], correct: 5, wrong: 5 },
+//! ];
+//! let quadrature = GaussLegendre::new(32);
+//! let kernel = CpeLikelihoodKernel::new(&observations, 2, &quadrature);
+//! assert_eq!(kernel.groups().num_unique_masks(), 2);
+//!
+//! // One (D+1)-dimensional model (Eq. 1–2), evaluated against every worker.
+//! let model = MultivariateNormal::new(
+//!     Vector::from_slice(&[0.65, 0.6, 0.5]),
+//!     Matrix::from_rows(&[
+//!         vec![0.020, 0.005, 0.004],
+//!         vec![0.005, 0.020, 0.004],
+//!         vec![0.004, 0.004, 0.020],
+//!     ]).unwrap(),
+//! ).unwrap();
+//! let log_likelihood = kernel.log_likelihood(&model).unwrap();   // Eq. 5
+//! assert!(log_likelihood.is_finite());
+//! let predictions = kernel.predict(&model, true).unwrap();       // Eq. 8
+//! assert_eq!(predictions.len(), observations.len());
+//! ```
 
 pub mod gradient;
 

@@ -46,6 +46,7 @@ use c4u_optim::GradientOracle;
 use c4u_stats::{
     binomial_normal_log_z_gradients, nearest_positive_definite, Conditioner, MultivariateNormal,
 };
+use std::cell::RefCell;
 
 /// The Eq. 5 log-likelihood together with its closed-form Eq. 6–7 gradient in
 /// model coordinates.
@@ -191,11 +192,70 @@ fn cpe_linalg_error(e: c4u_linalg::LinalgError) -> SelectionError {
 /// finite-difference path; a gradient evaluation that fails to build a model
 /// (parameters outside the representable cone) returns the zero vector, which
 /// leaves the parameters unchanged for that epoch instead of poisoning them.
+///
+/// ## Fused objective/gradient evaluation
+///
+/// [`CpeLikelihoodKernel::log_likelihood_gradient`] produces `log Z` **and**
+/// its derivatives from one quadrature sweep, so the oracle never integrates
+/// twice for the same point: both [`GradientOracle::objective`] and
+/// [`GradientOracle::gradient`] run the fused sweep and memoise the pair for
+/// the evaluated parameter vector. A descent driver that asks for the
+/// objective and the gradient at the same iterate — e.g.
+/// [`GradientDescent::minimize_with_oracle`](c4u_optim::GradientDescent::minimize_with_oracle)'s
+/// per-epoch diagnostics — therefore pays **one** sweep per iterate instead of
+/// two.
+///
+/// The fused `log Z` agrees with the dedicated log-Z-only sweep
+/// ([`CpeLikelihoodKernel::log_likelihood`]) to float rounding, `~1e-12`
+/// (`c4u-stats` pins that in `batch_log_z_matches_single_evaluations`) — but
+/// it is **not bit-identical**, and a descent driver that selects its returned
+/// best iterate by objective value could in principle flip between iterates
+/// whose objectives differ by less than that drift. This is an accepted
+/// trade: [`CrossDomainEstimator::update`](crate::CrossDomainEstimator::update)
+/// — the only in-workspace consumer — drives this oracle through
+/// [`GradientOracle::gradient`] alone (its two-learning-rate loop never asks
+/// for the objective), so the estimator's outputs are unaffected by the
+/// fusion; only callers pairing this oracle with an objective-tracking driver
+/// observe the `~1e-12` objective surface shift.
+///
+/// ```
+/// use c4u_optim::GradientOracle;
+/// use c4u_selection::{AnalyticCpeOracle, CpeLikelihoodKernel, CpeObservation};
+/// use c4u_stats::GaussLegendre;
+///
+/// let observations = vec![
+///     CpeObservation { prior_accuracies: vec![Some(0.8), Some(0.7)], correct: 8, wrong: 2 },
+/// ];
+/// let quadrature = GaussLegendre::new(32);
+/// let kernel = CpeLikelihoodKernel::new(&observations, 2, &quadrature);
+/// let oracle = AnalyticCpeOracle::new(&kernel, 2, 1e-4);
+///
+/// // Packed parameters: mean [mu_1, mu_2, mu_T] (Eq. 6 block) followed by the
+/// // row-major lower covariance triangle (Eq. 7 block).
+/// let params = [0.65, 0.6, 0.5, 0.02, 0.0, 0.02, 0.0, 0.0, 0.02];
+/// let gradient = oracle.gradient(&params);       // one fused quadrature sweep
+/// assert_eq!(gradient.len(), params.len());
+/// // The objective at the same iterate reuses the sweep's fused log Z.
+/// assert!(oracle.objective(&params).is_finite());
+/// ```
 #[derive(Debug)]
 pub struct AnalyticCpeOracle<'k> {
     kernel: &'k CpeLikelihoodKernel<'k>,
     num_prior_domains: usize,
     min_variance: f64,
+    /// Memo of the last evaluated point (interior mutability: the
+    /// [`GradientOracle`] methods take `&self`). One entry suffices — descent
+    /// drivers interleave objective/gradient requests point by point.
+    fused: RefCell<Option<FusedEvaluation>>,
+}
+
+/// One memoised fused evaluation: the parameter point with the objective value
+/// and gradient its single sweep produced.
+#[derive(Debug, Clone)]
+struct FusedEvaluation {
+    params: Vec<f64>,
+    objective: f64,
+    gradient: Vec<f64>,
 }
 
 impl<'k> AnalyticCpeOracle<'k> {
@@ -212,6 +272,7 @@ impl<'k> AnalyticCpeOracle<'k> {
             kernel,
             num_prior_domains,
             min_variance,
+            fused: RefCell::new(None),
         }
     }
 
@@ -229,28 +290,140 @@ impl<'k> AnalyticCpeOracle<'k> {
         let cov = nearest_positive_definite(&cov, self.min_variance)?;
         Ok(MultivariateNormal::new(Vector::from_slice(mean), cov)?)
     }
+
+    /// Runs (or recalls) the fused sweep at `x` and passes the memo to `read`.
+    ///
+    /// On a failed evaluation the memo records the penalty objective and the
+    /// zero gradient — the same surface both entry points exposed before the
+    /// fusion.
+    fn with_fused<T>(&self, x: &[f64], read: impl FnOnce(&FusedEvaluation) -> T) -> T {
+        let mut slot = self.fused.borrow_mut();
+        if slot.as_ref().is_none_or(|memo| memo.params != x) {
+            let fused = self
+                .model_at(x)
+                .and_then(|model| self.kernel.log_likelihood_gradient(&model));
+            *slot = Some(match fused {
+                Ok(fused) => {
+                    // Objective is the *negative* log-likelihood; non-finite
+                    // values (underflowed normaliser) map to the shared
+                    // penalty, exactly like the finite-difference path.
+                    let negated = -fused.log_likelihood;
+                    FusedEvaluation {
+                        params: x.to_vec(),
+                        objective: if negated.is_finite() {
+                            negated
+                        } else {
+                            OBJECTIVE_PENALTY
+                        },
+                        gradient: fused.packed().iter().map(|v| -v).collect(),
+                    }
+                }
+                Err(_) => FusedEvaluation {
+                    params: x.to_vec(),
+                    objective: OBJECTIVE_PENALTY,
+                    gradient: vec![0.0; x.len()],
+                },
+            });
+        }
+        read(slot.as_ref().expect("memo was just filled"))
+    }
 }
 
 impl GradientOracle for AnalyticCpeOracle<'_> {
     fn objective(&self, x: &[f64]) -> f64 {
-        let value = self
-            .model_at(x)
-            .and_then(|model| self.kernel.log_likelihood(&model))
-            .map(|ll| -ll);
-        match value {
-            Ok(v) if v.is_finite() => v,
-            _ => OBJECTIVE_PENALTY,
-        }
+        self.with_fused(x, |memo| memo.objective)
     }
 
     fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let gradient = self
-            .model_at(x)
-            .and_then(|model| self.kernel.log_likelihood_gradient(&model));
-        match gradient {
-            // Objective is the *negative* log-likelihood.
-            Ok(g) => g.packed().iter().map(|v| -v).collect(),
-            Err(_) => vec![0.0; x.len()],
-        }
+        self.with_fused(x, |memo| memo.gradient.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpe::{lower_triangle, CpeObservation, CrossDomainEstimator};
+    use crate::CpeConfig;
+    use c4u_crowd_sim::HistoricalProfile;
+    use c4u_stats::{conditioning_factorizations, GaussLegendre};
+
+    fn estimator() -> CrossDomainEstimator {
+        let profiles = [
+            HistoricalProfile::complete(vec![0.9, 0.9, 0.8], vec![10, 10, 10]).unwrap(),
+            HistoricalProfile::complete(vec![0.5, 0.6, 0.4], vec![10, 10, 10]).unwrap(),
+            HistoricalProfile::new(vec![Some(0.4), None, Some(0.3)], vec![10, 0, 10]).unwrap(),
+        ];
+        let refs: Vec<&HistoricalProfile> = profiles.iter().collect();
+        CrossDomainEstimator::from_profiles(&refs, CpeConfig::default()).unwrap()
+    }
+
+    fn observations() -> Vec<CpeObservation> {
+        vec![
+            CpeObservation {
+                prior_accuracies: vec![Some(0.9), Some(0.9), Some(0.8)],
+                correct: 9,
+                wrong: 1,
+            },
+            CpeObservation {
+                prior_accuracies: vec![Some(0.4), None, Some(0.3)],
+                correct: 3,
+                wrong: 7,
+            },
+        ]
+    }
+
+    fn packed_params(est: &CrossDomainEstimator) -> Vec<f64> {
+        let mut params = est.mean().to_vec();
+        params.extend(lower_triangle(est.covariance()));
+        params
+    }
+
+    #[test]
+    fn objective_reuses_the_gradient_sweeps_fused_log_z() {
+        let est = estimator();
+        let obs = observations();
+        let quadrature = GaussLegendre::new(32);
+        let kernel = CpeLikelihoodKernel::new(&obs, 3, &quadrature);
+        let oracle = AnalyticCpeOracle::new(&kernel, 3, 1e-4);
+        let params = packed_params(&est);
+
+        let gradient = oracle.gradient(&params);
+        assert_eq!(gradient.len(), params.len());
+        let after_gradient = conditioning_factorizations();
+        // Descent diagnostics asking for the objective at the same iterate hit
+        // the fused memo: no new conditioning (hence no new quadrature sweep).
+        let objective = oracle.objective(&params);
+        assert_eq!(conditioning_factorizations(), after_gradient);
+        assert!(objective.is_finite());
+        // And the memoised value is the (negated) fused log-likelihood of the
+        // same model the log-Z-only path describes, to float rounding.
+        let direct = -est.log_likelihood(&obs).unwrap();
+        assert!(
+            (objective - direct).abs() <= 1e-9 * (1.0 + direct.abs()),
+            "fused {objective} vs log-Z-only {direct}"
+        );
+        // Re-asking for the gradient is free too.
+        let before = conditioning_factorizations();
+        assert_eq!(oracle.gradient(&params), gradient);
+        assert_eq!(conditioning_factorizations(), before);
+
+        // A different point invalidates the memo and re-sweeps.
+        let mut moved = params.clone();
+        moved[0] += 1e-3;
+        let _ = oracle.objective(&moved);
+        assert!(conditioning_factorizations() > before);
+    }
+
+    #[test]
+    fn unbuildable_points_memoise_the_penalty_surface() {
+        let obs = observations();
+        let quadrature = GaussLegendre::new(32);
+        let kernel = CpeLikelihoodKernel::new(&obs, 3, &quadrature);
+        let oracle = AnalyticCpeOracle::new(&kernel, 3, 1e-4);
+        // Wrong parameter length: model construction fails, the objective is
+        // the shared penalty and the gradient the harmless zero vector.
+        let bogus = vec![0.5; 3];
+        assert_eq!(oracle.objective(&bogus), OBJECTIVE_PENALTY);
+        assert_eq!(oracle.gradient(&bogus), vec![0.0; 3]);
     }
 }

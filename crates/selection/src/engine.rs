@@ -14,8 +14,11 @@ use crate::evaluation::{evaluate_strategy, AggregatedResult, EvaluationResult};
 use crate::selector::WorkerSelector;
 use crate::SelectionError;
 use c4u_crowd_sim::Dataset;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+// The generic scoped-thread work queue lives in `c4u_crowd_sim::parallel` now
+// (the platform's sharded paths fan out through it too); re-exported here so
+// engine-level callers keep their historical import path.
+pub use c4u_crowd_sim::parallel::run_indexed_jobs;
 
 /// A reusable evaluation runner with a fixed worker-thread budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,10 +35,9 @@ impl Default for EvalEngine {
 impl EvalEngine {
     /// An engine sized to the machine (`std::thread::available_parallelism`).
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self { threads }
+        Self {
+            threads: c4u_crowd_sim::parallel::available_threads(),
+        }
     }
 
     /// An engine that runs everything on the calling thread, in order.
@@ -120,65 +122,6 @@ impl EvalEngine {
     {
         run_indexed_jobs(self.threads, n, job)
     }
-}
-
-/// Executes `n` independent fallible jobs and returns their results in job
-/// order, fanning them out over at most `threads` scoped worker threads.
-///
-/// Semantics are exactly those of the sequential loop
-/// `(0..n).map(job).collect()`:
-///
-/// * on success, results arrive in index order;
-/// * on failure, the error of the **lowest-indexed failing job** is returned,
-///   and jobs *above* a known failure are skipped (the parallel analogue of
-///   the sequential early exit — jobs below it still run, so the reported
-///   error never depends on thread scheduling).
-///
-/// This is the one scoped-thread work-queue in the workspace; the evaluation
-/// engine and the bench harness both build on it.
-pub fn run_indexed_jobs<T, E, F>(threads: usize, n: usize, job: F) -> Result<Vec<T>, E>
-where
-    T: Send,
-    E: Send,
-    F: Fn(usize) -> Result<T, E> + Sync,
-{
-    let threads = threads.min(n);
-    if threads <= 1 {
-        return (0..n).map(job).collect();
-    }
-
-    let results: Mutex<Vec<(usize, Result<T, E>)>> = Mutex::new(Vec::with_capacity(n));
-    let next = AtomicUsize::new(0);
-    // Lowest failing index observed so far; jobs above it need not run (their
-    // result could never be reported), jobs below it still must.
-    let first_failure = AtomicUsize::new(usize::MAX);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::SeqCst);
-                if index >= n {
-                    break;
-                }
-                if index > first_failure.load(Ordering::SeqCst) {
-                    continue;
-                }
-                let result = job(index);
-                if result.is_err() {
-                    first_failure.fetch_min(index, Ordering::SeqCst);
-                }
-                results
-                    .lock()
-                    .expect("worker threads do not panic")
-                    .push((index, result));
-            });
-        }
-    });
-
-    let mut collected = results.into_inner().expect("worker threads do not panic");
-    collected.sort_by_key(|(index, _)| *index);
-    // Return the lowest-indexed error, if any; otherwise every job ran and
-    // succeeded, in order.
-    collected.into_iter().map(|(_, result)| result).collect()
 }
 
 /// Aggregates per-trial results (already in seed order) into the mean/std
@@ -317,46 +260,6 @@ mod tests {
         assert_eq!(
             EvalEngine::with_threads(4).evaluate_all(&ds, &strategies, 3),
             expected
-        );
-    }
-
-    #[test]
-    fn jobs_above_a_known_failure_are_skipped() {
-        use std::sync::atomic::AtomicUsize;
-
-        // Job 0 fails; with a single worker thread draining the queue in
-        // order, every later job is skipped — the parallel analogue of the
-        // sequential early exit. (More threads may legitimately start later
-        // jobs before the failure lands, so the deterministic check uses the
-        // one-worker parallel path via run_indexed_jobs directly.)
-        let executed = AtomicUsize::new(0);
-        let result: Result<Vec<usize>, &'static str> = run_indexed_jobs(1, 100, |index| {
-            executed.fetch_add(1, Ordering::SeqCst);
-            if index == 0 {
-                Err("boom")
-            } else {
-                Ok(index)
-            }
-        });
-        assert_eq!(result, Err("boom"));
-        assert_eq!(executed.load(Ordering::SeqCst), 1);
-
-        // And with real fan-out the skip still bounds the wasted work: at
-        // most one in-flight job per thread after the failure is recorded.
-        let executed = AtomicUsize::new(0);
-        let result: Result<Vec<usize>, &'static str> = run_indexed_jobs(4, 1000, |index| {
-            executed.fetch_add(1, Ordering::SeqCst);
-            if index == 0 {
-                Err("boom")
-            } else {
-                std::thread::sleep(std::time::Duration::from_millis(1));
-                Ok(index)
-            }
-        });
-        assert_eq!(result, Err("boom"));
-        assert!(
-            executed.load(Ordering::SeqCst) < 1000,
-            "fan-out should stop claiming jobs after the failure"
         );
     }
 }

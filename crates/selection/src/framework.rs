@@ -21,7 +21,7 @@ use crate::me::{median_eliminate, top_k, ScoredWorker};
 use crate::selector::{SelectionOutcome, WorkerSelector};
 use crate::stage::{num_prior_domains, RoundInput, StageInit, StagePipeline};
 use crate::SelectionError;
-use c4u_crowd_sim::{HistoricalProfile, Platform, WorkerId};
+use c4u_crowd_sim::{HistoricalProfile, Platform, WorkerId, WorkerShards};
 use std::collections::HashMap;
 
 /// Which estimation components the pipeline uses.
@@ -46,6 +46,15 @@ pub struct SelectorConfig {
     pub delta: f64,
     /// Which estimation components to run.
     pub mode: EstimationMode,
+    /// Number of worker-range shards each round fans out over: the platform
+    /// answers the round's golden questions and the stages score the workers
+    /// in `num_shards` contiguous ranges on scoped threads
+    /// ([`c4u_crowd_sim::WorkerShards`]). Per-worker RNG streams make every
+    /// value — including the default sequential `1` — produce **bit-for-bit
+    /// identical** selections; the knob trades threads for wall-clock on
+    /// large pools (`tests/shard_equivalence.rs` pins the identity, the
+    /// `platform_shards` bench the speedup).
+    pub num_shards: usize,
 }
 
 impl Default for SelectorConfig {
@@ -54,6 +63,7 @@ impl Default for SelectorConfig {
             cpe: CpeConfig::default(),
             delta: 0.1,
             mode: EstimationMode::CpeAndLge,
+            num_shards: 1,
         }
     }
 }
@@ -68,6 +78,13 @@ impl SelectorConfig {
     /// Switches the pipeline into the ME-CPE ablation (no LGE).
     pub fn cpe_only(mut self) -> Self {
         self.mode = EstimationMode::CpeOnly;
+        self
+    }
+
+    /// Sets the number of worker-range shards per round (clamped to >= 1 at
+    /// use; the selection is identical for every value).
+    pub fn with_num_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards;
         self
     }
 }
@@ -212,9 +229,15 @@ impl CrossDomainSelector {
         let mut final_scores: Vec<ScoredWorker> = Vec::new();
         let mut previous_scores: Vec<ScoredWorker> = Vec::new();
 
+        let num_shards = self.config.num_shards.max(1);
         for round in 1..=plan.rounds {
             let tasks_per_worker = plan.tasks_per_worker(remaining.len());
-            let record = platform.assign_learning_batch(&remaining, tasks_per_worker)?;
+            // One worker-range partition per round: the platform answers the
+            // shared golden slice shard-by-shard on scoped threads, and the
+            // same layout drives the stages' per-worker scoring below.
+            let shards = WorkerShards::by_count(remaining.len(), num_shards);
+            let record =
+                platform.assign_learning_batch_sharded(&remaining, tasks_per_worker, &shards)?;
 
             // --- Estimation stages (Algorithms 1-2 in the canonical pipeline) ---
             let profiles: Vec<&HistoricalProfile> = record
@@ -229,11 +252,15 @@ impl CrossDomainSelector {
                 sheets: &record.sheets,
                 profiles: &profiles,
                 cumulative_tasks: &cumulative_tasks,
+                num_shards,
             })?;
             let static_estimates = estimates.first().to_vec();
             let dynamic_estimates = estimates.last().to_vec();
 
             // --- ME (Algorithm 3) ---
+            // The per-worker scoring work was sharded inside the stages; here
+            // the scores (already in worker order) are paired with their
+            // workers and the elimination ranks the whole round at once.
             let scored: Vec<ScoredWorker> = record
                 .sheets
                 .iter()

@@ -84,7 +84,8 @@ pub use stage::{
 };
 
 // Re-export the simulator types that appear in this crate's public API
-// (AnswerSheet/HistoricalProfile are part of the stage-context types).
+// (AnswerSheet/HistoricalProfile are part of the stage-context types;
+// WorkerShards parameterises the sharded scoring paths).
 pub use c4u_crowd_sim::{
-    AnswerSheet, Dataset, DatasetConfig, HistoricalProfile, Platform, WorkerId,
+    AnswerSheet, Dataset, DatasetConfig, HistoricalProfile, Platform, WorkerId, WorkerShards,
 };

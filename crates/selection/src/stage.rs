@@ -34,7 +34,8 @@
 use crate::cpe::{CpeConfig, CpeObservation, CrossDomainEstimator};
 use crate::lge::{LearningGainEstimator, LgeConfig, LgeWorkerInput};
 use crate::SelectionError;
-use c4u_crowd_sim::{AnswerSheet, HistoricalProfile, WorkerId};
+use c4u_crowd_sim::parallel::run_indexed_jobs;
+use c4u_crowd_sim::{AnswerSheet, HistoricalProfile, WorkerId, WorkerShards};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -77,6 +78,10 @@ pub struct RoundContext<'a> {
     /// Cumulative training schedule: entry `j` is `K_j`, the learning tasks a
     /// worker has received by the end of round `j` (entry 0 is `K_0 = 0`).
     pub cumulative_tasks: &'a [f64],
+    /// Number of worker-range shards the stage's per-worker scoring pass fans
+    /// out over (1 = sequential; shard results are merged in worker order, so
+    /// the scores are identical for every value).
+    pub num_shards: usize,
     /// Score histories of the preceding stages (index = stage position).
     pub prior_histories: &'a [HashMap<WorkerId, Vec<f64>>],
 }
@@ -85,6 +90,12 @@ impl RoundContext<'_> {
     /// Cumulative learning tasks `K_j` after round `j` (0 for round 0).
     pub fn cumulative_tasks_after_round(&self, round: usize) -> f64 {
         self.cumulative_tasks[round]
+    }
+
+    /// The worker-range partition a stage's per-worker scoring pass fans out
+    /// over: `num_shards` contiguous, balanced ranges of the round's sheets.
+    pub fn worker_shards(&self) -> WorkerShards {
+        WorkerShards::by_count(self.sheets.len(), self.num_shards.max(1))
     }
 }
 
@@ -195,8 +206,11 @@ impl EstimationStage for CpeStage {
                 CpeObservation::from_profile(profile, sheet.correct(), sheet.wrong())
             })
             .collect();
+        // The model refinement consumes the whole round (Eq. 5 sums over every
+        // remaining worker); the per-worker Eq. 8 predictions then fan out
+        // over the round's worker shards.
         estimator.update(&observations)?;
-        estimator.predict_batch(&observations)
+        estimator.predict_batch_sharded(&observations, &ctx.worker_shards())
     }
 
     fn target_correlations(&self) -> Option<Result<Vec<f64>, SelectionError>> {
@@ -277,8 +291,12 @@ impl EstimationStage for LgeStage {
             });
         }
         let history_of = ctx.prior_histories.last();
-        let mut estimates = Vec::with_capacity(ctx.sheets.len());
-        for (i, sheet) in ctx.sheets.iter().enumerate() {
+        // Per-worker scoring: each worker's Eq. 10–11 fit depends only on its
+        // own history, so the pass fans out over the round's worker shards and
+        // the per-shard score vectors are concatenated back in worker order
+        // (identical to the sequential loop for every shard layout).
+        let score_worker = |i: usize| -> Result<f64, SelectionError> {
+            let sheet = &ctx.sheets[i];
             let static_estimate = prior[i];
             let history: Vec<f64> = history_of
                 .and_then(|h| h.get(&sheet.worker))
@@ -297,8 +315,7 @@ impl EstimationStage for LgeStage {
             // and static estimates coincide until training has started).
             let has_informative_stage = before.iter().any(|&k| k > 0.0);
             if !has_informative_stage {
-                estimates.push(static_estimate);
-                continue;
+                return Ok(static_estimate);
             }
             let input = LgeWorkerInput::from_profile(
                 ctx.profiles[i],
@@ -306,9 +323,14 @@ impl EstimationStage for LgeStage {
                 before,
                 ctx.cumulative_tasks_after_round(ctx.round),
             );
-            estimates.push(estimator.estimate(&input)?.predicted_accuracy);
-        }
-        Ok(estimates)
+            Ok(estimator.estimate(&input)?.predicted_accuracy)
+        };
+        let shards = ctx.worker_shards();
+        let per_shard: Vec<Vec<f64>> =
+            run_indexed_jobs(shards.num_shards(), shards.num_shards(), |shard| {
+                shards.range(shard).map(score_worker).collect()
+            })?;
+        Ok(per_shard.into_iter().flatten().collect())
     }
 
     fn boxed_clone(&self) -> Box<dyn EstimationStage> {
@@ -332,6 +354,9 @@ pub struct RoundInput<'a> {
     pub profiles: &'a [&'a HistoricalProfile],
     /// Cumulative training schedule `K_0, ..., K_n`.
     pub cumulative_tasks: &'a [f64],
+    /// Worker-range shards for the stages' per-worker scoring passes
+    /// (1 = sequential; any value yields identical scores).
+    pub num_shards: usize,
 }
 
 /// The per-stage estimates of one round, in pipeline order.
@@ -450,6 +475,7 @@ impl StagePipeline {
                 sheets: input.sheets,
                 profiles: input.profiles,
                 cumulative_tasks: input.cumulative_tasks,
+                num_shards: input.num_shards,
                 prior_histories: &self.histories[..index],
             };
             let scores = self.stages[index].estimate(&ctx, &current)?;
@@ -542,6 +568,7 @@ mod tests {
             sheets: &record.sheets,
             profiles: &profiles,
             cumulative_tasks: &cumulative,
+            num_shards: 1,
             prior_histories: &[],
         };
         assert!(CpeStage::new(fast_cpe()).estimate(&ctx, &[]).is_err());
@@ -577,6 +604,7 @@ mod tests {
             sheets: &record.sheets,
             profiles: &profiles,
             cumulative_tasks: &cumulative,
+            num_shards: 1,
             prior_histories: &[],
         };
         // Misaligned prior scores are rejected.
@@ -618,6 +646,7 @@ mod tests {
                 sheets: &record.sheets,
                 profiles: &profiles,
                 cumulative_tasks: &cumulative,
+                num_shards: 1,
             })
             .unwrap();
         assert_eq!(estimates.num_stages(), 2);
@@ -669,6 +698,7 @@ mod tests {
                 sheets: &record.sheets,
                 profiles: &profiles,
                 cumulative_tasks: &cumulative,
+                num_shards: 1,
             })
             .unwrap();
         assert!(!pipeline.history(0).unwrap().is_empty());

@@ -173,6 +173,20 @@ impl LogZGradient {
 /// An observation whose normaliser underflows gets `log_z = -inf` and zero
 /// derivatives, so a caller accumulating a gradient skips it instead of
 /// poisoning the sum with `NaN`.
+///
+/// ```
+/// use c4u_stats::{binomial_normal_log_z, binomial_normal_log_z_gradients, GaussLegendre};
+///
+/// let quadrature = GaussLegendre::new(32);
+/// // One worker: conditional mean 0.55, sigma 0.12, C = 7 correct, X = 3 wrong.
+/// let grad = binomial_normal_log_z_gradients(&quadrature, 0.12, &[(0.55, 7.0, 3.0)])[0];
+/// assert!(grad.is_finite());
+/// // The fused log Z agrees with the dedicated log-Z sweep to float rounding.
+/// let log_z = binomial_normal_log_z(&quadrature, 0.55, 0.12, 7.0, 3.0);
+/// assert!((grad.log_z - log_z).abs() < 1e-12);
+/// // More correct than wrong answers: the likelihood rises with the mean.
+/// assert!(grad.d_mean > 0.0);
+/// ```
 pub fn binomial_normal_log_z_gradients(
     quadrature: &GaussLegendre,
     sigma: f64,

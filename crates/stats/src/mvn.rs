@@ -242,8 +242,8 @@ impl MultivariateNormal {
     }
 
     /// Draws a sample with every coordinate restricted to `[lower, upper]` by
-    /// rejection sampling (falling back to clamping after
-    /// [`TRUNCATION_MAX_REJECTS`] rejected proposals).
+    /// rejection sampling (falling back to clamping after 256 rejected
+    /// proposals).
     ///
     /// This is the "truncated multivariate normal distribution within (0, 1)" used to
     /// generate synthetic workers in Sec. V-A of the paper.

@@ -16,10 +16,18 @@
 //!
 //! The `examples/` directory holds runnable end-to-end walkthroughs and the
 //! `tests/` directory the cross-crate integration suite; see the workspace
-//! `README.md` for the full layout.
+//! `README.md` for the full layout and `ARCHITECTURE.md` for the crate map,
+//! the extension seams, and the data flow of one selection run.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// Compiles and runs every Rust code block of the workspace `README.md` as a
+/// doctest (`cargo test --doc -p c4u`), so the README's quickstart and usage
+/// snippets cannot rot. The struct itself never exists outside `cfg(doctest)`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 pub use c4u_crowd_sim as crowd_sim;
 pub use c4u_irt as irt;

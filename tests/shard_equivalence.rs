@@ -1,0 +1,197 @@
+//! Sharded vs. unsharded equivalence: for a fixed platform seed, the
+//! worker-range sharding layer must be invisible in every observable output.
+//!
+//! Per-worker RNG streams (split deterministically from the platform seed by
+//! worker id and round) mean the shard layout carries no entropy, so
+//!
+//! * [`Platform::assign_learning_batch_sharded`] must produce **bit-for-bit**
+//!   identical [`RoundRecord`]s for every shard count — including ragged last
+//!   shards and empty shards — and identical to the unsharded
+//!   [`Platform::assign_learning_batch`];
+//! * [`Platform::evaluate_working_accuracy_sharded`] must reproduce the
+//!   unsharded average exactly (the accumulation order is pinned to worker
+//!   order);
+//! * a [`CrossDomainSelector`] configured with any `num_shards` must select
+//!   the same workers with the same final scores and identical per-round
+//!   estimates.
+//!
+//! These are exact `==` assertions on `f64`s, not tolerance checks: sharding
+//! is an execution-layout knob, never a numerical one.
+
+use c4u_crowd_sim::{generate, DatasetConfig, Platform, RoundRecord, WorkerShards};
+use c4u_selection::{evaluate_strategy, CrossDomainSelector, SelectorConfig, WorkerSelector};
+
+/// Shard counts exercised everywhere: sequential, ragged (27 workers over 3 or
+/// 16 ranges), and more-shards-than-workers (empty trailing shards).
+const SHARD_COUNTS: [usize; 4] = [1, 3, 16, 40];
+
+fn rw1_platform(seed: u64) -> Platform {
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    Platform::from_dataset(&dataset, seed).unwrap()
+}
+
+#[test]
+fn platform_rounds_are_identical_for_every_shard_layout() {
+    // Three rounds over a shrinking worker list (mirroring elimination), with
+    // the unsharded path as the reference.
+    let reference: Vec<RoundRecord> = {
+        let mut platform = rw1_platform(11);
+        let ids = platform.worker_ids();
+        let mut records = vec![platform.assign_learning_batch(&ids, 6).unwrap()];
+        records.push(platform.assign_learning_batch(&ids[..14], 6).unwrap());
+        records.push(platform.assign_learning_batch(&ids[..7], 6).unwrap());
+        records
+    };
+    for num_shards in SHARD_COUNTS {
+        let mut platform = rw1_platform(11);
+        let ids = platform.worker_ids();
+        let pools: [&[usize]; 3] = [&ids, &ids[..14], &ids[..7]];
+        for (round, pool) in pools.iter().enumerate() {
+            let shards = WorkerShards::by_count(pool.len(), num_shards);
+            let record = platform
+                .assign_learning_batch_sharded(pool, 6, &shards)
+                .unwrap();
+            assert_eq!(
+                record,
+                reference[round],
+                "round {} with {num_shards} shards",
+                round + 1
+            );
+        }
+        // The full histories agree too (round numbering, cursors, sheets).
+        assert_eq!(platform.history(), {
+            let reference: &[RoundRecord] = &reference;
+            reference
+        });
+        assert_eq!(platform.budget_spent(), 6 * (27 + 14 + 7));
+    }
+}
+
+#[test]
+fn ragged_and_empty_shards_change_nothing() {
+    // 27 workers over 16 shards: eleven 2-element shards + five 1-element
+    // shards. Over 40 shards: 27 singletons + 13 empty shards. By-size with a
+    // ragged tail. All must equal the single-shard layout.
+    let reference = {
+        let mut platform = rw1_platform(23);
+        let ids = platform.worker_ids();
+        platform.assign_learning_batch(&ids, 10).unwrap()
+    };
+    let layouts: Vec<WorkerShards> = vec![
+        WorkerShards::by_count(27, 16),
+        WorkerShards::by_count(27, 40),
+        WorkerShards::by_size(27, 4),
+        WorkerShards::by_size(27, 26),
+    ];
+    for shards in layouts {
+        let mut platform = rw1_platform(23);
+        let ids = platform.worker_ids();
+        let record = platform
+            .assign_learning_batch_sharded(&ids, 10, &shards)
+            .unwrap();
+        assert_eq!(
+            record,
+            reference,
+            "{} shards over {} workers",
+            shards.num_shards(),
+            shards.len()
+        );
+    }
+}
+
+#[test]
+fn working_evaluation_is_identical_for_every_shard_layout() {
+    let reference = {
+        let mut platform = rw1_platform(31);
+        let ids = platform.worker_ids();
+        // Two calls: the evaluation epoch advances identically either way.
+        let first = platform.evaluate_working_accuracy(&ids).unwrap();
+        let second = platform.evaluate_working_accuracy(&ids).unwrap();
+        (first, second)
+    };
+    for num_shards in SHARD_COUNTS {
+        let mut platform = rw1_platform(31);
+        let ids = platform.worker_ids();
+        let shards = WorkerShards::by_count(ids.len(), num_shards);
+        let first = platform
+            .evaluate_working_accuracy_sharded(&ids, &shards)
+            .unwrap();
+        let second = platform
+            .evaluate_working_accuracy_sharded(&ids, &shards)
+            .unwrap();
+        // Exact float equality: same streams, same accumulation order.
+        assert_eq!((first, second), reference, "{num_shards} shards");
+    }
+}
+
+fn fast_config(num_shards: usize) -> SelectorConfig {
+    let mut config = SelectorConfig::default().with_num_shards(num_shards);
+    config.cpe.epochs = 5;
+    config
+}
+
+#[test]
+fn selector_output_is_identical_for_every_shard_count() {
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let reference = {
+        let mut platform = Platform::from_dataset(&dataset, 7).unwrap();
+        CrossDomainSelector::new(fast_config(1))
+            .run(&mut platform, 7)
+            .unwrap()
+    };
+    for num_shards in SHARD_COUNTS {
+        let mut platform = Platform::from_dataset(&dataset, 7).unwrap();
+        let report = CrossDomainSelector::new(fast_config(num_shards))
+            .run(&mut platform, 7)
+            .unwrap();
+        // Selection, ranking scores, budget: exact.
+        assert_eq!(
+            report.outcome.selected, reference.outcome.selected,
+            "{num_shards} shards"
+        );
+        assert_eq!(
+            report.outcome.scores, reference.outcome.scores,
+            "{num_shards} shards"
+        );
+        assert_eq!(report.outcome.budget_spent, reference.outcome.budget_spent);
+        assert_eq!(report.outcome.rounds, reference.outcome.rounds);
+        // Per-round diagnostics (entered/survived sets, every static and
+        // dynamic estimate): exact.
+        assert_eq!(report.rounds, reference.rounds, "{num_shards} shards");
+        assert_eq!(report.target_correlations, reference.target_correlations);
+    }
+}
+
+#[test]
+fn end_to_end_evaluation_is_identical_for_every_shard_count() {
+    // evaluate_strategy covers the remaining seam: the post-selection working
+    // evaluation on the same platform the selector drove.
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let evaluate = |num_shards: usize| {
+        let selector = CrossDomainSelector::new(fast_config(num_shards));
+        evaluate_strategy(&dataset, &selector, 42).unwrap()
+    };
+    let reference = evaluate(1);
+    for num_shards in SHARD_COUNTS {
+        let result = evaluate(num_shards);
+        assert_eq!(result.selected, reference.selected, "{num_shards} shards");
+        assert_eq!(
+            result.working_accuracy, reference.working_accuracy,
+            "{num_shards} shards"
+        );
+        assert_eq!(result.expected_accuracy, reference.expected_accuracy);
+        assert_eq!(result.budget_spent, reference.budget_spent);
+    }
+}
+
+#[test]
+fn default_config_remains_the_sequential_single_shard_layout() {
+    let config = SelectorConfig::default();
+    assert_eq!(config.num_shards, 1);
+    // A zero knob is clamped at use, never an error.
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let mut platform = Platform::from_dataset(&dataset, 3).unwrap();
+    let selector = CrossDomainSelector::new(fast_config(0));
+    let outcome = selector.select(&mut platform, 7).unwrap();
+    assert_eq!(outcome.selected.len(), 7);
+}

@@ -204,7 +204,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification accepted by [`vec`]: a fixed length or a range.
+    /// Length specification accepted by [`vec()`]: a fixed length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
