@@ -4,10 +4,14 @@
 //!
 //! ```bash
 //! cargo bench -p c4u-bench --bench ablation
+//! # Resumable: persist every evaluated cell, so re-runs and interrupted
+//! # sweeps only evaluate what is missing (CI uploads this as an artifact).
+//! C4U_CELL_CACHE=target/cell-cache cargo bench -p c4u-bench --bench ablation
 //! ```
 
 use c4u_bench::{
-    cpe_epochs, evaluate_cells, lookup, trial_seeds, trials, uplift, CellSpec, StrategyKind,
+    cell_cache_dir, cpe_epochs, evaluate_cells_resumable, lookup, trial_seeds, trials, uplift,
+    CellSpec, StrategyKind,
 };
 use c4u_crowd_sim::DatasetConfig;
 
@@ -36,7 +40,8 @@ fn main() {
             ));
         }
     }
-    let cells = evaluate_cells(&specs);
+    let cache = cell_cache_dir();
+    let (cells, stats) = evaluate_cells_resumable(&specs, cache.as_deref());
 
     println!(
         "{:<6} {:>8} {:>8} {:>8} {:>16} {:>16}",
@@ -60,4 +65,16 @@ fn main() {
     println!("ME-CPE (learning-gain modelling). The paper reports both as positive on every");
     println!("dataset; under the simulator the CPE uplift reproduces while the LGE uplift is");
     println!("within noise of zero on the synthetic pools (see EXPERIMENTS.md).");
+    match cache {
+        Some(dir) => println!(
+            "\ncell cache: {} hits, {} misses of {} cells under {}",
+            stats.hits,
+            stats.misses,
+            stats.total(),
+            dir.display()
+        ),
+        None => {
+            println!("\ncell cache: disabled (set C4U_CELL_CACHE to make this sweep resumable)")
+        }
+    }
 }

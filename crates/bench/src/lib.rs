@@ -8,8 +8,8 @@
 //! series the corresponding table/figure reports; `EXPERIMENTS.md` records one run of
 //! each alongside the paper's numbers.
 //!
-//! The harness honours two environment variables so that quick smoke runs and full
-//! paper-fidelity runs use the same code:
+//! The harness honours a few environment variables so that quick smoke runs and
+//! full paper-fidelity runs use the same code:
 //!
 //! * `C4U_CPE_EPOCHS` — gradient-descent epochs per CPE round (default 10; the paper
 //!   uses 50, which scales the runtime accordingly without changing the rankings);
@@ -17,22 +17,34 @@
 //! * `C4U_SHARDS` — worker-range shards per selection round (default 1). Every
 //!   value produces bit-for-bit identical selections (per-worker RNG streams);
 //!   larger values trade scoped threads for wall-clock on big pools, so table
-//!   numbers never depend on the setting.
+//!   numbers never depend on the setting;
+//! * `C4U_CELL_CACHE` — directory for the resumable per-cell result cache
+//!   ([`evaluate_cells_resumable`]; unset disables persistence).
 //!
 //! Dataset generation is memoised process-wide ([`cached_generate`]): sweep
 //! cells sharing a configuration share one generated dataset, so a table that
 //! evaluates six strategies on one dataset generates it once, not six times.
+//!
+//! Evaluation *results* are memoised across processes when `C4U_CELL_CACHE`
+//! names a directory ([`evaluate_cells_resumable`]): every finished cell is
+//! persisted as a JSON file keyed by its full identity, so interrupted sweeps
+//! resume and repeated CI runs are incremental (see the [`cache`] module).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
+
+pub use cache::{cell_cache_dir, SweepStats, CELL_CACHE_ENV};
+
 use c4u_crowd_sim::{generate, Dataset, DatasetConfig, SimError};
 use c4u_selection::{
-    evaluate_strategy_with_k, CrossDomainSelector, GroundTruthOracle, LiEtAl,
+    evaluate_strategy_with_k, CrossDomainSelector, EstimationMode, GroundTruthOracle, LiEtAl,
     MedianEliminationBaseline, SelectorConfig, UniformSampling, WorkerSelector,
 };
 use std::collections::HashMap;
 use std::convert::Infallible;
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default number of CPE gradient-descent epochs used by the bench targets.
@@ -91,6 +103,14 @@ pub enum StrategyKind {
     Ours,
     /// Ground-truth oracle.
     GroundTruth,
+    /// LGE driven by raw observed sheet accuracies (no CPE model).
+    LgeOnly,
+    /// Per-worker Bayesian Knowledge Tracing posteriors.
+    BktOnly,
+    /// The learning-curve calibration refit from raw observed accuracies.
+    RaschCalibrated,
+    /// A weighted CPE + BKT ensemble as the estimation stage.
+    CpeBktEnsemble,
 }
 
 impl StrategyKind {
@@ -106,6 +126,22 @@ impl StrategyKind {
         ]
     }
 
+    /// The stage zoo: every [`StagePipeline`]-backed estimation pipeline, from
+    /// the full method down to the single-model ablations (the
+    /// `examples/stage_ablation.rs` line-up).
+    ///
+    /// [`StagePipeline`]: c4u_selection::StagePipeline
+    pub fn stage_pipelines() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::Ours,
+            StrategyKind::MeCpe,
+            StrategyKind::LgeOnly,
+            StrategyKind::BktOnly,
+            StrategyKind::RaschCalibrated,
+            StrategyKind::CpeBktEnsemble,
+        ]
+    }
+
     /// Display name matching the paper's tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -115,6 +151,10 @@ impl StrategyKind {
             StrategyKind::MeCpe => "ME-CPE",
             StrategyKind::Ours => "Ours",
             StrategyKind::GroundTruth => "Ground Truth",
+            StrategyKind::LgeOnly => "LGE-only",
+            StrategyKind::BktOnly => "BKT",
+            StrategyKind::RaschCalibrated => "Rasch",
+            StrategyKind::CpeBktEnsemble => "CPE+BKT",
         }
     }
 
@@ -132,6 +172,18 @@ impl StrategyKind {
             StrategyKind::MeCpe => Box::new(CrossDomainSelector::new(config.cpe_only())),
             StrategyKind::Ours => Box::new(CrossDomainSelector::new(config)),
             StrategyKind::GroundTruth => Box::new(GroundTruthOracle::new()),
+            StrategyKind::LgeOnly => Box::new(CrossDomainSelector::new(
+                config.with_mode(EstimationMode::LgeOnly),
+            )),
+            StrategyKind::BktOnly => Box::new(CrossDomainSelector::new(
+                config.with_mode(EstimationMode::BktOnly),
+            )),
+            StrategyKind::RaschCalibrated => Box::new(CrossDomainSelector::new(
+                config.with_mode(EstimationMode::RaschCalibrated),
+            )),
+            StrategyKind::CpeBktEnsemble => Box::new(CrossDomainSelector::new(
+                config.with_mode(EstimationMode::CpeBktEnsemble),
+            )),
         }
     }
 }
@@ -297,14 +349,52 @@ pub fn evaluate_cell(spec: &CellSpec) -> Cell {
 /// ([`c4u_selection::run_indexed_jobs`]); the results come back in cell order,
 /// making the output identical to a sequential evaluation.
 pub fn evaluate_cells(specs: &[CellSpec]) -> Vec<Cell> {
+    evaluate_cells_resumable(specs, None).0
+}
+
+/// [`evaluate_cells`] with a persistent per-cell result cache: cells whose
+/// identity ([`cache::cell_key`]) is already on disk under `cache_dir` are
+/// answered from the cache **bit-for-bit** without re-evaluation, and every
+/// freshly evaluated cell is persisted there, so interrupted sweeps resume and
+/// repeated runs are incremental.
+///
+/// `cache_dir = None` degrades to plain parallel evaluation (all misses,
+/// nothing written); pass [`cell_cache_dir()`] to honour `C4U_CELL_CACHE` the
+/// way the bench targets do. The returned [`SweepStats`] reports the hit/miss
+/// split (a fully warmed cache re-evaluates zero cells).
+pub fn evaluate_cells_resumable(
+    specs: &[CellSpec],
+    cache_dir: Option<&Path>,
+) -> (Vec<Cell>, SweepStats) {
     let threads = c4u_crowd_sim::parallel::available_threads();
-    let result: Result<Vec<Cell>, Infallible> =
+    let result: Result<Vec<(Cell, bool)>, Infallible> =
         c4u_selection::run_indexed_jobs(threads, specs.len(), |index| {
-            Ok(evaluate_cell(&specs[index]))
+            let spec = &specs[index];
+            if let Some(dir) = cache_dir {
+                if let Some(hit) = cache::load_cell(dir, spec) {
+                    return Ok((hit, true));
+                }
+            }
+            let cell = evaluate_cell(spec);
+            if let Some(dir) = cache_dir {
+                cache::store_cell(dir, spec, &cell);
+            }
+            Ok((cell, false))
         });
-    match result {
-        Ok(cells) => cells,
-    }
+    let Ok(outcomes) = result;
+    let mut stats = SweepStats::default();
+    let cells = outcomes
+        .into_iter()
+        .map(|(cell, hit)| {
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            cell
+        })
+        .collect();
+    (cells, stats)
 }
 
 /// Formats a dataset-by-strategy accuracy table (rows = strategies, columns =
@@ -364,6 +454,21 @@ mod tests {
         assert_eq!(all[4].name(), "Ours");
         for kind in all {
             let strategy = kind.build(3, 0.5);
+            assert_eq!(strategy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn stage_pipeline_lineup_covers_the_zoo() {
+        let zoo = StrategyKind::stage_pipelines();
+        assert_eq!(zoo.len(), 6);
+        let names: Vec<&str> = zoo.iter().map(StrategyKind::name).collect();
+        assert_eq!(
+            names,
+            vec!["Ours", "ME-CPE", "LGE-only", "BKT", "Rasch", "CPE+BKT"]
+        );
+        for kind in zoo {
+            let strategy = kind.build(2, 0.5);
             assert_eq!(strategy.name(), kind.name());
         }
     }

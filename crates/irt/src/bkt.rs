@@ -3,8 +3,8 @@
 //! The paper surveys three families of knowledge-tracing models (Sec. II-C) and
 //! adopts the Rasch IRT family because it needs no explicit skill/question mapping.
 //! This module implements the classic Corbett & Anderson BKT model as a comparison
-//! extension: it lets the benchmark harness run an ablation in which the Learning
-//! Gain Estimation is driven by BKT posteriors instead of the modified IRT curve,
+//! extension: the selection layer's `BktStage` (`c4u_selection::BktStage`) drives a
+//! whole elimination pipeline off BKT posteriors instead of the modified IRT curve,
 //! quantifying how much the choice of learner model matters.
 //!
 //! The model has four parameters:
@@ -61,6 +61,22 @@ impl BktParams {
             });
         }
         Ok(())
+    }
+
+    /// Inverts the emission model: the mastery probability at which the expected
+    /// accuracy `m (1 - p_slip) + (1 - m) p_guess` equals `accuracy`, clamped to
+    /// `[0, 1]`.
+    ///
+    /// Accuracies below `p_guess` (resp. above `1 - p_slip`) are unreachable under
+    /// the emission parameters and clamp to 0 (resp. 1). The selection layer's
+    /// `BktStage` uses this to seed each worker's prior mastery from the mean
+    /// historical accuracy of the worker's observed prior domains.
+    pub fn mastery_for_accuracy(&self, accuracy: f64) -> f64 {
+        let span = 1.0 - self.p_slip - self.p_guess;
+        if span <= 0.0 || accuracy.is_nan() {
+            return self.p_init;
+        }
+        ((accuracy - self.p_guess) / span).clamp(0.0, 1.0)
     }
 }
 
@@ -234,6 +250,33 @@ mod tests {
         }
         // Even with no mastery accuracy cannot drop below p_guess.
         assert!(worst.predicted_accuracy() >= params.p_guess - 1e-12);
+    }
+
+    #[test]
+    fn mastery_for_accuracy_inverts_the_emission_model() {
+        let params = BktParams::default();
+        for &acc in &[0.3, 0.5, 0.75, 0.89] {
+            let m = params.mastery_for_accuracy(acc);
+            let forward = m * (1.0 - params.p_slip) + (1.0 - m) * params.p_guess;
+            assert!((forward - acc).abs() < 1e-12, "acc {acc}");
+        }
+        // Unreachable accuracies clamp to the mastery bounds.
+        assert_eq!(params.mastery_for_accuracy(0.0), 0.0);
+        assert_eq!(params.mastery_for_accuracy(1.0), 1.0);
+        // A degenerate emission span falls back to the prior.
+        let degenerate = BktParams {
+            p_slip: 0.5,
+            p_guess: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            degenerate.mastery_for_accuracy(0.7),
+            BktParams::default().p_init
+        );
+        assert_eq!(
+            params.mastery_for_accuracy(f64::NAN),
+            BktParams::default().p_init
+        );
     }
 
     #[test]

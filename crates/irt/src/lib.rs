@@ -14,8 +14,14 @@
 //!   [`cumulative_tasks_after_round`] schedule `K_j = (2^j - 1) t / |W|`;
 //! * [`calibrate_alpha`] / [`calibrate_model`] — the per-worker least-squares fit of
 //!   the learning parameter (Eq. 11);
-//! * [`BktModel`] — a Bayesian Knowledge Tracing tracker used by the benchmark
-//!   harness as an ablation of the learner-model choice.
+//! * [`BktModel`] — a Bayesian Knowledge Tracing tracker; the selection layer's
+//!   `BktStage` runs one per worker as an ablation of the learner-model choice,
+//!   seeded through [`BktParams::mastery_for_accuracy`].
+//!
+//! The Learning Gain Estimation consumes the calibration through
+//! `c4u_selection::LgeStage` (fitting against the CPE estimate history) and
+//! `c4u_selection::RaschStage` (fitting against raw observed sheet accuracies);
+//! both pipelines are one-line compositions in `c4u_selection::StagePipeline`.
 //!
 //! ## Example
 //!

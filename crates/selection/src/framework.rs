@@ -26,15 +26,29 @@ use std::collections::HashMap;
 
 /// Which estimation components the pipeline uses.
 ///
-/// The two presets map to the canonical [`StagePipeline`] compositions
-/// ([`StagePipeline::cpe_and_lge`] and [`StagePipeline::cpe_only`]); arbitrary
-/// stage compositions go through [`CrossDomainSelector::with_pipeline`].
+/// Every preset maps to a canonical [`StagePipeline`] composition (the stage
+/// zoo: [`StagePipeline::cpe_and_lge`], [`StagePipeline::cpe_only`],
+/// [`StagePipeline::lge_only`], [`StagePipeline::bkt_only`],
+/// [`StagePipeline::rasch_calibrated`],
+/// [`StagePipeline::cpe_bkt_ensemble`]); arbitrary stage compositions go
+/// through [`CrossDomainSelector::with_pipeline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimationMode {
     /// CPE + LGE (the full method, "Ours" in the paper's tables).
     CpeAndLge,
     /// CPE only (the "ME-CPE" ablation row).
     CpeOnly,
+    /// LGE driven by raw observed sheet accuracies (no cross-domain model).
+    LgeOnly,
+    /// Per-worker Bayesian Knowledge Tracing posteriors
+    /// ([`SelectorConfig::bkt`] parameters).
+    BktOnly,
+    /// The Eq. 10–11 learning-curve calibration refit per round from raw
+    /// observed accuracies.
+    RaschCalibrated,
+    /// A weighted CPE + BKT ensemble
+    /// ([`SelectorConfig::ensemble_cpe_weight`]).
+    CpeBktEnsemble,
 }
 
 /// Configuration of the full pipeline.
@@ -55,6 +69,14 @@ pub struct SelectorConfig {
     /// large pools (`tests/shard_equivalence.rs` pins the identity, the
     /// `platform_shards` bench the speedup).
     pub num_shards: usize,
+    /// Bayesian Knowledge Tracing parameters used by the
+    /// [`EstimationMode::BktOnly`] and [`EstimationMode::CpeBktEnsemble`]
+    /// pipelines (ignored by the others).
+    pub bkt: c4u_irt::BktParams,
+    /// Weight of the CPE child in the [`EstimationMode::CpeBktEnsemble`]
+    /// pipeline (the BKT child gets the complement; clamped to `[0.05, 0.95]`
+    /// at pipeline construction).
+    pub ensemble_cpe_weight: f64,
 }
 
 impl Default for SelectorConfig {
@@ -64,6 +86,8 @@ impl Default for SelectorConfig {
             delta: 0.1,
             mode: EstimationMode::CpeAndLge,
             num_shards: 1,
+            bkt: c4u_irt::BktParams::default(),
+            ensemble_cpe_weight: 0.5,
         }
     }
 }
@@ -78,6 +102,12 @@ impl SelectorConfig {
     /// Switches the pipeline into the ME-CPE ablation (no LGE).
     pub fn cpe_only(mut self) -> Self {
         self.mode = EstimationMode::CpeOnly;
+        self
+    }
+
+    /// Switches the pipeline into an arbitrary preset of the stage zoo.
+    pub fn with_mode(mut self, mode: EstimationMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -136,11 +166,20 @@ pub struct CrossDomainSelector {
 }
 
 impl CrossDomainSelector {
-    /// Creates the full method ("Ours").
+    /// Creates the selector for the preset named by `config.mode` (the full
+    /// method by default; every stage-zoo ablation is one
+    /// [`SelectorConfig::with_mode`] away).
     pub fn new(config: SelectorConfig) -> Self {
         let (name, pipeline) = match config.mode {
             EstimationMode::CpeAndLge => ("Ours", StagePipeline::cpe_and_lge(config.cpe)),
             EstimationMode::CpeOnly => ("ME-CPE", StagePipeline::cpe_only(config.cpe)),
+            EstimationMode::LgeOnly => ("LGE-only", StagePipeline::lge_only()),
+            EstimationMode::BktOnly => ("BKT", StagePipeline::bkt_only(config.bkt)),
+            EstimationMode::RaschCalibrated => ("Rasch", StagePipeline::rasch_calibrated()),
+            EstimationMode::CpeBktEnsemble => (
+                "CPE+BKT",
+                StagePipeline::cpe_bkt_ensemble(config.cpe, config.bkt, config.ensemble_cpe_weight),
+            ),
         };
         Self {
             config,

@@ -26,6 +26,11 @@
 //! the [`GroundTruthOracle`], and the ME-CPE ablation
 //! ([`CrossDomainSelector::cpe_only`]).
 //!
+//! Beyond the paper's line-up, the stage zoo composes alternative estimation
+//! pipelines on the [`EstimationStage`] seam — [`BktStage`], [`RaschStage`],
+//! [`EnsembleStage`], [`SheetAccuracyStage`] — all selectable as one-line
+//! presets through [`EstimationMode`] / [`SelectorConfig::with_mode`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -79,13 +84,15 @@ pub use lge::{LearningGainEstimator, LgeConfig, LgeEstimate, LgeWorkerInput};
 pub use me::{median_eliminate, rounds_until_at_most, sort_by_score, top_k, ScoredWorker};
 pub use selector::{SelectionOutcome, WorkerSelector};
 pub use stage::{
-    num_prior_domains, CpeStage, EstimationStage, LgeStage, RoundContext, RoundEstimates,
-    RoundInput, StageInit, StagePipeline,
+    num_prior_domains, BktStage, CpeStage, EnsembleStage, EstimationStage, LgeStage, RaschStage,
+    RoundContext, RoundEstimates, RoundInput, SheetAccuracyStage, StageInit, StagePipeline,
 };
 
 // Re-export the simulator types that appear in this crate's public API
 // (AnswerSheet/HistoricalProfile are part of the stage-context types;
-// WorkerShards parameterises the sharded scoring paths).
+// WorkerShards parameterises the sharded scoring paths), plus the IRT types
+// the stage zoo is parameterised by (SelectorConfig::bkt, BktStage::new).
 pub use c4u_crowd_sim::{
     AnswerSheet, Dataset, DatasetConfig, HistoricalProfile, Platform, WorkerId, WorkerShards,
 };
+pub use c4u_irt::{BktModel, BktParams};

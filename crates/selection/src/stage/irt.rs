@@ -1,0 +1,409 @@
+//! IRT-backed estimation stages: the `c4u_irt` learner models adapted to the
+//! [`EstimationStage`] seam.
+//!
+//! Both stages replace the paper's CPE + LGE estimation with a single
+//! learner-model pass, quantifying how much the cross-domain machinery adds
+//! over classic knowledge-tracing approaches (the Sec. II-C survey):
+//!
+//! * [`BktStage`] — one Bayesian Knowledge Tracing tracker per worker, seeded
+//!   from the worker's historical prior-domain accuracy and advanced with the
+//!   round's per-answer correctness sequence;
+//! * [`RaschStage`] — the Eq. 10–11 learning-curve calibration refit per round
+//!   from raw observed sheet accuracies (where [`LgeStage`](super::LgeStage)
+//!   fits against the CPE estimate history).
+//!
+//! Both stages score workers independently, so their per-worker passes fan out
+//! over the round's worker-range shards exactly like the canonical stages:
+//! per-shard score vectors are computed on scoped threads and merged back in
+//! worker order, making every shard layout bit-for-bit identical
+//! (`tests/shard_equivalence.rs` pins this for the BKT pipeline).
+
+use super::{pool_prior_means, uninitialized, EstimationStage, RoundContext, StageInit};
+use crate::lge::{LearningGainEstimator, LgeConfig, LgeWorkerInput};
+use crate::SelectionError;
+use c4u_crowd_sim::parallel::run_indexed_jobs;
+use c4u_crowd_sim::{HistoricalProfile, WorkerId};
+use c4u_irt::{BktModel, BktParams};
+use std::collections::HashMap;
+
+/// Bayesian Knowledge Tracing as a pipeline stage.
+///
+/// Per worker the stage keeps one [`BktModel`] across rounds: the tracker's
+/// prior mastery is seeded from the mean historical accuracy of the worker's
+/// observed prior domains (through [`BktParams::mastery_for_accuracy`]; workers
+/// with no history start from `a_T`), and every round the worker's answer
+/// correctness sequence is folded in observation by observation. The emitted
+/// score is the posterior predicted accuracy, so the elimination ranks by the
+/// BKT estimate of the *next* answer being correct.
+///
+/// It ignores its `prior` input, so it is usually the first (and only) stage;
+/// [`StagePipeline::bkt_only`](super::StagePipeline::bkt_only) is the
+/// canonical composition.
+#[derive(Debug, Clone)]
+pub struct BktStage {
+    params: BktParams,
+    fallback_accuracy: f64,
+    trackers: HashMap<WorkerId, BktModel>,
+    initialized: bool,
+}
+
+impl BktStage {
+    /// Creates the stage; the parameters are validated in `initialize`.
+    pub fn new(params: BktParams) -> Self {
+        Self {
+            params,
+            fallback_accuracy: 0.5,
+            trackers: HashMap::new(),
+            initialized: false,
+        }
+    }
+
+    /// The BKT parameters in use.
+    pub fn params(&self) -> &BktParams {
+        &self.params
+    }
+
+    /// The current tracker of a worker, if the worker has been scored.
+    pub fn tracker(&self, worker: WorkerId) -> Option<&BktModel> {
+        self.trackers.get(&worker)
+    }
+
+    /// A fresh tracker for a first-seen worker: prior mastery from the mean
+    /// accuracy over the worker's observed prior domains (falling back to
+    /// `a_T` for an empty history).
+    fn fresh_tracker(&self, profile: &HistoricalProfile) -> Result<BktModel, SelectionError> {
+        let observed = profile.observed_accuracies();
+        let anchor = if observed.is_empty() {
+            self.fallback_accuracy
+        } else {
+            c4u_stats::mean(&observed)
+        };
+        BktModel::new(BktParams {
+            p_init: self.params.mastery_for_accuracy(anchor),
+            ..self.params
+        })
+        .map_err(SelectionError::from)
+    }
+}
+
+impl EstimationStage for BktStage {
+    fn name(&self) -> &str {
+        "bkt"
+    }
+
+    fn initialize(&mut self, init: &StageInit<'_>) -> Result<(), SelectionError> {
+        self.params.validate()?;
+        self.fallback_accuracy = init.initial_target_accuracy;
+        self.trackers.clear();
+        self.initialized = true;
+        Ok(())
+    }
+
+    fn estimate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        _prior: &[f64],
+    ) -> Result<Vec<f64>, SelectionError> {
+        if !self.initialized {
+            return Err(uninitialized("BKT stage used before initialize"));
+        }
+        // Per-worker scoring: each tracker depends only on its own worker's
+        // history, so the pass fans out over the round's worker shards; the
+        // advanced trackers are merged back in worker order afterwards, which
+        // keeps every shard layout bit-for-bit identical.
+        let trackers = &self.trackers;
+        let stage = &*self;
+        let score_worker = |i: usize| -> Result<(BktModel, f64), SelectionError> {
+            let sheet = &ctx.sheets[i];
+            let mut tracker = match trackers.get(&sheet.worker) {
+                Some(tracker) => *tracker,
+                None => stage.fresh_tracker(ctx.profiles[i])?,
+            };
+            let score = tracker.observe_batch(&sheet.correctness());
+            Ok((tracker, score))
+        };
+        let shards = ctx.worker_shards();
+        let per_shard: Vec<Vec<(BktModel, f64)>> =
+            run_indexed_jobs(shards.num_shards(), shards.num_shards(), |shard| {
+                shards.range(shard).map(score_worker).collect()
+            })?;
+        let mut scores = Vec::with_capacity(ctx.sheets.len());
+        for (sheet, (tracker, score)) in ctx.sheets.iter().zip(per_shard.into_iter().flatten()) {
+            self.trackers.insert(sheet.worker, tracker);
+            scores.push(score);
+        }
+        Ok(scores)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EstimationStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Rasch learning-curve calibration as a pipeline stage.
+///
+/// Runs the same Eq. 10–11 machinery as [`LgeStage`](super::LgeStage) — the
+/// Sec. V-C difficulty initialisation, the per-worker `alpha` least-squares
+/// fit, the Eq. 10 prediction at the round's cumulative training count — but
+/// fits against the worker's **raw observed sheet accuracies** across rounds
+/// instead of the CPE estimate history. That makes it the "learning curve
+/// without a cross-domain model" ablation:
+/// [`StagePipeline::rasch_calibrated`](super::StagePipeline::rasch_calibrated).
+///
+/// Unlike LGE it does not fall back at round 1: the prior-domain anchors alone
+/// already identify `alpha`, so the first-round score is a pure prior-based
+/// extrapolation of the learning curve.
+#[derive(Debug, Clone, Default)]
+pub struct RaschStage {
+    estimator: Option<LearningGainEstimator>,
+    observed: HashMap<WorkerId, Vec<f64>>,
+}
+
+impl RaschStage {
+    /// Creates the stage; difficulties are derived in `initialize` from the
+    /// pool's prior-domain averages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The observed per-round sheet accuracies recorded for a worker so far.
+    pub fn observed(&self, worker: WorkerId) -> Option<&[f64]> {
+        self.observed.get(&worker).map(Vec::as_slice)
+    }
+}
+
+impl EstimationStage for RaschStage {
+    fn name(&self) -> &str {
+        "rasch"
+    }
+
+    fn initialize(&mut self, init: &StageInit<'_>) -> Result<(), SelectionError> {
+        self.estimator = Some(LearningGainEstimator::new(LgeConfig::new(
+            init.initial_target_accuracy,
+            pool_prior_means(init),
+        )?));
+        self.observed.clear();
+        Ok(())
+    }
+
+    fn estimate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        _prior: &[f64],
+    ) -> Result<Vec<f64>, SelectionError> {
+        let estimator = self
+            .estimator
+            .as_ref()
+            .ok_or_else(|| uninitialized("Rasch stage used before initialize"))?;
+        // Per-worker scoring, sharded like the other stages. Each job returns
+        // the worker's appended observation history plus the score; the
+        // histories are committed in worker order after the parallel pass, so
+        // the stage state never depends on the shard layout.
+        let observed = &self.observed;
+        let score_worker = |i: usize| -> Result<(Vec<f64>, f64), SelectionError> {
+            let sheet = &ctx.sheets[i];
+            let mut history = observed.get(&sheet.worker).cloned().unwrap_or_default();
+            history.push(sheet.accuracy());
+            // The accuracy observed at stage j reflects a worker trained with
+            // only j-1 rounds of revealed answers, so observation j pairs with
+            // K_{j-1} — the same convention as the LGE fit (Eq. 11).
+            let before: Vec<f64> = (0..history.len())
+                .map(|j| ctx.cumulative_tasks_after_round(j))
+                .collect();
+            let input = LgeWorkerInput::from_profile(
+                ctx.profiles[i],
+                history.clone(),
+                before,
+                ctx.cumulative_tasks_after_round(ctx.round),
+            );
+            let score = estimator.estimate(&input)?.predicted_accuracy;
+            Ok((history, score))
+        };
+        let shards = ctx.worker_shards();
+        let per_shard: Vec<Vec<(Vec<f64>, f64)>> =
+            run_indexed_jobs(shards.num_shards(), shards.num_shards(), |shard| {
+                shards.range(shard).map(score_worker).collect()
+            })?;
+        let mut scores = Vec::with_capacity(ctx.sheets.len());
+        for (sheet, (history, score)) in ctx.sheets.iter().zip(per_shard.into_iter().flatten()) {
+            self.observed.insert(sheet.worker, history);
+            scores.push(score);
+        }
+        Ok(scores)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EstimationStage> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::num_prior_domains;
+    use c4u_crowd_sim::{generate, AnswerSheet, DatasetConfig, Platform};
+
+    fn rw1_round(seed: u64) -> (Platform, Vec<AnswerSheet>) {
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, seed).unwrap();
+        let ids = platform.worker_ids();
+        let record = platform.assign_learning_batch(&ids, 6).unwrap();
+        (platform, record.sheets)
+    }
+
+    fn ctx_of<'a>(
+        sheets: &'a [AnswerSheet],
+        profiles: &'a [&'a HistoricalProfile],
+        cumulative: &'a [f64],
+        num_shards: usize,
+    ) -> RoundContext<'a> {
+        RoundContext {
+            round: 1,
+            total_rounds: 1,
+            delta: 0.1,
+            sheets,
+            profiles,
+            cumulative_tasks: cumulative,
+            num_shards,
+            prior_histories: &[],
+        }
+    }
+
+    #[test]
+    fn stages_error_before_initialize() {
+        let (platform, sheets) = rw1_round(3);
+        let profiles: Vec<&HistoricalProfile> = sheets
+            .iter()
+            .map(|s| platform.profile(s.worker).unwrap())
+            .collect();
+        let cumulative = [0.0, 6.0];
+        let ctx = ctx_of(&sheets, &profiles, &cumulative, 1);
+        assert!(BktStage::new(BktParams::default())
+            .estimate(&ctx, &[])
+            .is_err());
+        assert!(RaschStage::new().estimate(&ctx, &[]).is_err());
+    }
+
+    #[test]
+    fn invalid_bkt_params_fail_at_initialize() {
+        let (platform, _) = rw1_round(3);
+        let profiles = platform.profiles();
+        let init = StageInit {
+            profiles: &profiles,
+            num_prior_domains: num_prior_domains(&profiles),
+            initial_target_accuracy: 0.5,
+        };
+        let mut stage = BktStage::new(BktParams {
+            p_slip: 0.7,
+            p_guess: 0.7,
+            ..Default::default()
+        });
+        assert!(stage.initialize(&init).is_err());
+    }
+
+    #[test]
+    fn bkt_scores_are_bounded_and_persistent() {
+        let (platform, sheets) = rw1_round(5);
+        let profiles_pool = platform.profiles();
+        let init = StageInit {
+            profiles: &profiles_pool,
+            num_prior_domains: num_prior_domains(&profiles_pool),
+            initial_target_accuracy: 0.5,
+        };
+        let mut stage = BktStage::new(BktParams::default());
+        stage.initialize(&init).unwrap();
+        let profiles: Vec<&HistoricalProfile> = sheets
+            .iter()
+            .map(|s| platform.profile(s.worker).unwrap())
+            .collect();
+        let cumulative = [0.0, 6.0];
+        let ctx = ctx_of(&sheets, &profiles, &cumulative, 1);
+        let scores = stage.estimate(&ctx, &[]).unwrap();
+        assert_eq!(scores.len(), sheets.len());
+        let slip_guess = (BktParams::default().p_slip, BktParams::default().p_guess);
+        for &s in &scores {
+            // The emission model bounds every prediction.
+            assert!(s >= slip_guess.1 - 1e-12 && s <= 1.0 - slip_guess.0 + 1e-12);
+        }
+        // Every scored worker now holds a tracker, and re-initialising clears them.
+        assert!(sheets.iter().all(|s| stage.tracker(s.worker).is_some()));
+        stage.initialize(&init).unwrap();
+        assert!(sheets.iter().all(|s| stage.tracker(s.worker).is_none()));
+    }
+
+    #[test]
+    fn bkt_and_rasch_are_shard_layout_independent() {
+        for num_shards in [1usize, 3, 16] {
+            let (platform, sheets) = rw1_round(9);
+            let profiles_pool = platform.profiles();
+            let init = StageInit {
+                profiles: &profiles_pool,
+                num_prior_domains: num_prior_domains(&profiles_pool),
+                initial_target_accuracy: 0.5,
+            };
+            let profiles: Vec<&HistoricalProfile> = sheets
+                .iter()
+                .map(|s| platform.profile(s.worker).unwrap())
+                .collect();
+            let cumulative = [0.0, 6.0];
+
+            let reference_ctx = ctx_of(&sheets, &profiles, &cumulative, 1);
+            let sharded_ctx = ctx_of(&sheets, &profiles, &cumulative, num_shards);
+
+            let mut a = BktStage::new(BktParams::default());
+            let mut b = BktStage::new(BktParams::default());
+            a.initialize(&init).unwrap();
+            b.initialize(&init).unwrap();
+            assert_eq!(
+                a.estimate(&reference_ctx, &[]).unwrap(),
+                b.estimate(&sharded_ctx, &[]).unwrap(),
+                "bkt with {num_shards} shards"
+            );
+
+            let mut a = RaschStage::new();
+            let mut b = RaschStage::new();
+            a.initialize(&init).unwrap();
+            b.initialize(&init).unwrap();
+            assert_eq!(
+                a.estimate(&reference_ctx, &[]).unwrap(),
+                b.estimate(&sharded_ctx, &[]).unwrap(),
+                "rasch with {num_shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn rasch_records_observations_and_scores_in_unit_interval() {
+        let (platform, sheets) = rw1_round(13);
+        let profiles_pool = platform.profiles();
+        let init = StageInit {
+            profiles: &profiles_pool,
+            num_prior_domains: num_prior_domains(&profiles_pool),
+            initial_target_accuracy: 0.5,
+        };
+        let mut stage = RaschStage::new();
+        stage.initialize(&init).unwrap();
+        let profiles: Vec<&HistoricalProfile> = sheets
+            .iter()
+            .map(|s| platform.profile(s.worker).unwrap())
+            .collect();
+        let cumulative = [0.0, 6.0, 18.0];
+        let ctx = ctx_of(&sheets, &profiles, &cumulative, 1);
+        let first = stage.estimate(&ctx, &[]).unwrap();
+        assert!(first.iter().all(|p| (0.0..=1.0).contains(p)));
+        // One observation per worker after round 1, two after a second round.
+        assert!(sheets
+            .iter()
+            .all(|s| stage.observed(s.worker).map(<[f64]>::len) == Some(1)));
+        let ctx2 = RoundContext {
+            round: 2,
+            total_rounds: 2,
+            ..ctx
+        };
+        let second = stage.estimate(&ctx2, &[]).unwrap();
+        assert_eq!(second.len(), sheets.len());
+        assert!(sheets
+            .iter()
+            .all(|s| stage.observed(s.worker).map(<[f64]>::len) == Some(2)));
+    }
+}

@@ -13,11 +13,15 @@
 //!
 //! The pipeline records every stage's per-worker output history, so a stage can
 //! consume the full cross-round trajectory of the stages before it (that is how
-//! LGE sees the CPE history without the two being coupled). New ablations are
-//! one-line compositions:
+//! LGE sees the CPE history without the two being coupled). Beyond the two
+//! canonical stages, the module hosts the **stage zoo**: IRT-backed stages
+//! ([`BktStage`], [`RaschStage`]), the [`EnsembleStage`] combinator, and the
+//! [`SheetAccuracyStage`] prior used by the LGE-only ablation. New ablations
+//! are one-line compositions:
 //!
 //! ```
 //! use c4u_selection::{CpeConfig, CpeStage, LgeStage, StagePipeline};
+//! use c4u_irt::BktParams;
 //!
 //! // The full method (CPE + LGE)…
 //! let full = StagePipeline::new(vec![
@@ -25,17 +29,37 @@
 //!     Box::new(LgeStage::new()),
 //! ])
 //! .unwrap();
-//! // …and the ME-CPE ablation.
-//! let ablation = StagePipeline::new(vec![Box::new(CpeStage::new(CpeConfig::default()))]).unwrap();
+//! // …and the canonical ablations of the zoo.
 //! assert_eq!(full.stage_names(), vec!["cpe", "lge"]);
-//! assert_eq!(ablation.stage_names(), vec!["cpe"]);
+//! assert_eq!(
+//!     StagePipeline::cpe_only(CpeConfig::default()).stage_names(),
+//!     vec!["cpe"]
+//! );
+//! assert_eq!(StagePipeline::lge_only().stage_names(), vec!["empirical", "lge"]);
+//! assert_eq!(
+//!     StagePipeline::bkt_only(BktParams::default()).stage_names(),
+//!     vec!["bkt"]
+//! );
+//! assert_eq!(StagePipeline::rasch_calibrated().stage_names(), vec!["rasch"]);
+//! assert_eq!(
+//!     StagePipeline::cpe_bkt_ensemble(CpeConfig::default(), BktParams::default(), 0.5)
+//!         .stage_names(),
+//!     vec!["ensemble"]
+//! );
 //! ```
+
+mod ensemble;
+mod irt;
+
+pub use ensemble::EnsembleStage;
+pub use irt::{BktStage, RaschStage};
 
 use crate::cpe::{CpeConfig, CpeObservation, CrossDomainEstimator};
 use crate::lge::{LearningGainEstimator, LgeConfig, LgeWorkerInput};
 use crate::SelectionError;
 use c4u_crowd_sim::parallel::run_indexed_jobs;
 use c4u_crowd_sim::{AnswerSheet, HistoricalProfile, WorkerId, WorkerShards};
+use c4u_irt::BktParams;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -137,11 +161,32 @@ impl Clone for Box<dyn EstimationStage> {
     }
 }
 
-fn uninitialized(stage: &'static str) -> SelectionError {
+pub(crate) fn uninitialized(stage: &'static str) -> SelectionError {
     SelectionError::InvalidConfig {
         what: stage,
         value: 0.0,
     }
+}
+
+/// Per-prior-domain average accuracy over the pool's profiles, clamped away
+/// from the degenerate 0/1 endpoints — the difficulty initialisation of
+/// Sec. V-C shared by every calibration-backed stage ([`LgeStage`],
+/// [`RaschStage`]). Domains nobody has worked on fall back to `a_T`.
+pub(crate) fn pool_prior_means(init: &StageInit<'_>) -> Vec<f64> {
+    (0..init.num_prior_domains)
+        .map(|domain| {
+            let values: Vec<f64> = init
+                .profiles
+                .iter()
+                .filter_map(|p| p.accuracy(domain))
+                .collect();
+            if values.is_empty() {
+                init.initial_target_accuracy
+            } else {
+                c4u_stats::mean(&values).clamp(0.05, 0.95)
+            }
+        })
+        .collect()
 }
 
 /// Cross-domain Performance Estimation as a pipeline stage (Algorithm 1).
@@ -254,23 +299,9 @@ impl EstimationStage for LgeStage {
     fn initialize(&mut self, init: &StageInit<'_>) -> Result<(), SelectionError> {
         // Per-prior-domain average accuracy for the difficulty initialisation,
         // mirroring the Sec. V-C setup.
-        let prior_means: Vec<f64> = (0..init.num_prior_domains)
-            .map(|domain| {
-                let values: Vec<f64> = init
-                    .profiles
-                    .iter()
-                    .filter_map(|p| p.accuracy(domain))
-                    .collect();
-                if values.is_empty() {
-                    init.initial_target_accuracy
-                } else {
-                    c4u_stats::mean(&values).clamp(0.05, 0.95)
-                }
-            })
-            .collect();
         self.estimator = Some(LearningGainEstimator::new(LgeConfig::new(
             init.initial_target_accuracy,
-            prior_means,
+            pool_prior_means(init),
         )?));
         Ok(())
     }
@@ -335,6 +366,46 @@ impl EstimationStage for LgeStage {
 
     fn boxed_clone(&self) -> Box<dyn EstimationStage> {
         Box::new(self.clone())
+    }
+}
+
+/// The raw empirical prior: emits each worker's observed accuracy on the
+/// round's answer sheet, untouched.
+///
+/// On its own this is just the per-round sample mean; its role in the zoo is
+/// to feed [`LgeStage`] in the LGE-only ablation
+/// ([`StagePipeline::lge_only`]), replacing the CPE model with the weakest
+/// defensible static estimate so the learning-gain machinery's contribution
+/// can be isolated. Stateless, so sharding and cloning are trivial.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SheetAccuracyStage;
+
+impl SheetAccuracyStage {
+    /// Creates the stage (it carries no state).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EstimationStage for SheetAccuracyStage {
+    fn name(&self) -> &str {
+        "empirical"
+    }
+
+    fn initialize(&mut self, _init: &StageInit<'_>) -> Result<(), SelectionError> {
+        Ok(())
+    }
+
+    fn estimate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        _prior: &[f64],
+    ) -> Result<Vec<f64>, SelectionError> {
+        Ok(ctx.sheets.iter().map(AnswerSheet::accuracy).collect())
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EstimationStage> {
+        Box::new(*self)
     }
 }
 
@@ -429,6 +500,63 @@ impl StagePipeline {
     /// The ME-CPE ablation: CPE alone.
     pub fn cpe_only(config: CpeConfig) -> Self {
         Self::new(vec![Box::new(CpeStage::new(config))]).expect("one stage")
+    }
+
+    /// The LGE-only ablation: the learning-gain fit driven by raw observed
+    /// sheet accuracies ([`SheetAccuracyStage`]) instead of the CPE model.
+    ///
+    /// The LGE half is the *same* [`LgeStage`] the full method runs — only its
+    /// static-estimate input differs — so comparing this pipeline against
+    /// [`StagePipeline::cpe_and_lge`] isolates what the cross-domain model
+    /// contributes beyond per-round sample means.
+    pub fn lge_only() -> Self {
+        Self::new(vec![
+            Box::new(SheetAccuracyStage::new()),
+            Box::new(LgeStage::new()),
+        ])
+        .expect("two stages")
+    }
+
+    /// The BKT ablation: per-worker Bayesian Knowledge Tracing posteriors
+    /// ([`BktStage`]) replace the whole CPE + LGE estimation.
+    pub fn bkt_only(params: BktParams) -> Self {
+        Self::new(vec![Box::new(BktStage::new(params))]).expect("one stage")
+    }
+
+    /// The Rasch-calibrated ablation: the Eq. 10–11 learning-curve calibration
+    /// refit per round from raw observed accuracies ([`RaschStage`]), with no
+    /// cross-domain model in the loop.
+    pub fn rasch_calibrated() -> Self {
+        Self::new(vec![Box::new(RaschStage::new())]).expect("one stage")
+    }
+
+    /// A CPE + BKT ensemble: one [`EnsembleStage`] whose children are a
+    /// [`CpeStage`] (weight `cpe_weight`, clamped to `[0.05, 0.95]`) and a
+    /// [`BktStage`] (the complementary weight).
+    pub fn cpe_bkt_ensemble(config: CpeConfig, params: BktParams, cpe_weight: f64) -> Self {
+        let w = if cpe_weight.is_nan() {
+            0.5
+        } else {
+            cpe_weight.clamp(0.05, 0.95)
+        };
+        let stage = EnsembleStage::new(
+            vec![
+                Box::new(CpeStage::new(config)),
+                Box::new(BktStage::new(params)),
+            ],
+            vec![w, 1.0 - w],
+        )
+        .expect("two positively weighted children");
+        Self::new(vec![Box::new(stage)]).expect("one stage")
+    }
+
+    /// A pipeline consisting of a single [`EnsembleStage`] over arbitrary
+    /// children (see [`EnsembleStage::new`] for the weight requirements).
+    pub fn ensemble(
+        children: Vec<Box<dyn EstimationStage>>,
+        weights: Vec<f64>,
+    ) -> Result<Self, SelectionError> {
+        Self::new(vec![Box::new(EnsembleStage::new(children, weights)?)])
     }
 
     /// Stage names in pipeline order.

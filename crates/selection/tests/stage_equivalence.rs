@@ -119,6 +119,9 @@ fn reference_pipeline(
                 }
                 estimates
             }
+            // The pre-refactor inline implementation only ever had the paper's
+            // two modes; the stage-zoo presets are covered by tests/stage_zoo.rs.
+            other => unreachable!("reference implementation does not cover {other:?}"),
         };
 
         let scored: Vec<ScoredWorker> = record

@@ -163,6 +163,40 @@ fn selector_output_is_identical_for_every_shard_count() {
 }
 
 #[test]
+fn irt_backed_pipeline_is_identical_for_every_shard_count() {
+    // The stage zoo's per-worker scoring passes (BKT trackers, Rasch
+    // calibration) fan out over the same worker-range shards as the canonical
+    // stages; their merge order is pinned to worker order, so an IRT-backed
+    // selector must be bit-for-bit shard-layout independent too.
+    use c4u_selection::EstimationMode;
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    for mode in [EstimationMode::BktOnly, EstimationMode::RaschCalibrated] {
+        let run = |num_shards: usize| {
+            let mut platform = Platform::from_dataset(&dataset, 13).unwrap();
+            CrossDomainSelector::new(fast_config(num_shards).with_mode(mode))
+                .run(&mut platform, 7)
+                .unwrap()
+        };
+        let reference = run(1);
+        for num_shards in [1usize, 3, 16] {
+            let report = run(num_shards);
+            assert_eq!(
+                report.outcome.selected, reference.outcome.selected,
+                "{mode:?} with {num_shards} shards"
+            );
+            assert_eq!(
+                report.outcome.scores, reference.outcome.scores,
+                "{mode:?} with {num_shards} shards"
+            );
+            assert_eq!(
+                report.rounds, reference.rounds,
+                "{mode:?} with {num_shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
 fn end_to_end_evaluation_is_identical_for_every_shard_count() {
     // evaluate_strategy covers the remaining seam: the post-selection working
     // evaluation on the same platform the selector drove.

@@ -1,0 +1,190 @@
+//! Equivalence and determinism coverage for the stage zoo (the IRT-backed and
+//! ensemble pipelines layered on the `EstimationStage` seam):
+//!
+//! * the LGE half of `cpe_and_lge` is exactly the `LgeStage` the LGE-only
+//!   pipeline runs — fed the same static estimates and history, it reproduces
+//!   the full pipeline's second-stage outputs **bit-for-bit**;
+//! * an ensemble with all weight on a single child is **bit-for-bit** equal to
+//!   running that child alone, end to end through the selector;
+//! * every zoo pipeline is deterministic: two runs from the same dataset and
+//!   platform seed produce identical reports.
+
+use c4u_crowd_sim::{generate, DatasetConfig, Platform};
+use c4u_selection::{
+    num_prior_domains, CrossDomainSelector, EstimationMode, EstimationStage, HistoricalProfile,
+    LgeStage, RoundContext, RoundInput, SelectorConfig, StageInit, StagePipeline, WorkerSelector,
+};
+
+fn fast_config(mode: EstimationMode) -> SelectorConfig {
+    let mut config = SelectorConfig::default().with_mode(mode);
+    config.cpe.epochs = 5;
+    config
+}
+
+#[test]
+fn lge_only_runs_the_exact_lge_half_of_cpe_and_lge() {
+    // Drive the full CPE + LGE pipeline round by round; in parallel, feed a
+    // standalone LgeStage (the very component StagePipeline::lge_only
+    // composes) the full pipeline's CPE outputs. The standalone stage must
+    // reproduce the full pipeline's second-stage estimates exactly — the LGE
+    // half is composition-independent, only its static-estimate input differs
+    // between the two pipelines.
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let mut platform = Platform::from_dataset(&dataset, 19).unwrap();
+    let ids = platform.worker_ids();
+
+    let mut config = SelectorConfig::default();
+    config.cpe.epochs = 5;
+    let mut full = StagePipeline::cpe_and_lge(config.cpe);
+    let mut lge_half = LgeStage::new();
+    {
+        let profiles = platform.profiles();
+        let init = StageInit {
+            profiles: &profiles,
+            num_prior_domains: num_prior_domains(&profiles),
+            initial_target_accuracy: config.cpe.initial_target_accuracy,
+        };
+        full.initialize(&init).unwrap();
+        lge_half.initialize(&init).unwrap();
+    }
+
+    // Three rounds over a shrinking pool, mirroring the elimination schedule.
+    let cumulative = [0.0, 6.0, 18.0, 42.0];
+    let pools: [&[usize]; 3] = [&ids, &ids[..14], &ids[..7]];
+    for (index, pool) in pools.iter().enumerate() {
+        let round = index + 1;
+        let record = platform.assign_learning_batch(pool, 6).unwrap();
+        let profiles: Vec<&HistoricalProfile> = record
+            .sheets
+            .iter()
+            .map(|s| platform.profile(s.worker).unwrap())
+            .collect();
+        let estimates = full
+            .run_round(&RoundInput {
+                round,
+                total_rounds: pools.len(),
+                delta: 0.1,
+                sheets: &record.sheets,
+                profiles: &profiles,
+                cumulative_tasks: &cumulative,
+                num_shards: 1,
+            })
+            .unwrap();
+        // The standalone LGE stage sees the full pipeline's CPE history (which
+        // already includes the current round) and its static estimates.
+        let cpe_history = full.history(0).unwrap().clone();
+        let ctx = RoundContext {
+            round,
+            total_rounds: pools.len(),
+            delta: 0.1,
+            sheets: &record.sheets,
+            profiles: &profiles,
+            cumulative_tasks: &cumulative,
+            num_shards: 1,
+            prior_histories: std::slice::from_ref(&cpe_history),
+        };
+        let standalone = lge_half.estimate(&ctx, estimates.first()).unwrap();
+        assert_eq!(
+            standalone,
+            estimates.last().to_vec(),
+            "round {round}: standalone LgeStage diverged from the pipeline's LGE half"
+        );
+    }
+}
+
+#[test]
+fn unit_weight_ensemble_equals_its_child_end_to_end() {
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let config = fast_config(EstimationMode::BktOnly);
+
+    let child_report = {
+        let mut platform = Platform::from_dataset(&dataset, 29).unwrap();
+        CrossDomainSelector::new(config.clone())
+            .run(&mut platform, 7)
+            .unwrap()
+    };
+    let ensemble_report = {
+        let pipeline = StagePipeline::ensemble(
+            vec![Box::new(c4u_selection::BktStage::new(config.bkt))],
+            vec![1.0],
+        )
+        .unwrap();
+        let mut platform = Platform::from_dataset(&dataset, 29).unwrap();
+        CrossDomainSelector::with_pipeline(config.clone(), pipeline, "ensemble(bkt)")
+            .run(&mut platform, 7)
+            .unwrap()
+    };
+    // Selection, scores, and every per-round estimate: exact.
+    assert_eq!(
+        ensemble_report.outcome.selected,
+        child_report.outcome.selected
+    );
+    assert_eq!(ensemble_report.outcome.scores, child_report.outcome.scores);
+    assert_eq!(ensemble_report.rounds, child_report.rounds);
+
+    // The same holds for a weight that is not 1.0: a lone child is passed
+    // through verbatim, no weight arithmetic touches the scores.
+    let reweighted = {
+        let pipeline = StagePipeline::ensemble(
+            vec![Box::new(c4u_selection::BktStage::new(config.bkt))],
+            vec![0.3],
+        )
+        .unwrap();
+        let mut platform = Platform::from_dataset(&dataset, 29).unwrap();
+        CrossDomainSelector::with_pipeline(config, pipeline, "ensemble(bkt)")
+            .run(&mut platform, 7)
+            .unwrap()
+    };
+    assert_eq!(reweighted.rounds, child_report.rounds);
+}
+
+#[test]
+fn every_zoo_pipeline_selects_k_workers_deterministically() {
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let modes = [
+        (EstimationMode::CpeAndLge, "Ours"),
+        (EstimationMode::CpeOnly, "ME-CPE"),
+        (EstimationMode::LgeOnly, "LGE-only"),
+        (EstimationMode::BktOnly, "BKT"),
+        (EstimationMode::RaschCalibrated, "Rasch"),
+        (EstimationMode::CpeBktEnsemble, "CPE+BKT"),
+    ];
+    for (mode, name) in modes {
+        let selector = CrossDomainSelector::new(fast_config(mode));
+        assert_eq!(selector.name(), name);
+        let run = || {
+            let mut platform = Platform::from_dataset(&dataset, 41).unwrap();
+            selector.run(&mut platform, 7).unwrap()
+        };
+        let first = run();
+        assert_eq!(first.outcome.selected.len(), 7, "{name}");
+        assert_eq!(first.rounds.len(), 2, "{name}");
+        for d in &first.rounds {
+            assert_eq!(d.static_estimates.len(), d.entered.len(), "{name}");
+            assert!(
+                d.dynamic_estimates.iter().all(|p| (0.0..=1.0).contains(p)),
+                "{name}"
+            );
+        }
+        // Same dataset + platform seed -> identical report, every time.
+        let second = run();
+        assert_eq!(second.outcome.selected, first.outcome.selected, "{name}");
+        assert_eq!(second.outcome.scores, first.outcome.scores, "{name}");
+        assert_eq!(second.rounds, first.rounds, "{name}");
+    }
+}
+
+#[test]
+fn zoo_pipelines_have_the_documented_stage_compositions() {
+    let config = SelectorConfig::default();
+    let expect = |mode: EstimationMode, names: &[&str]| {
+        let selector = CrossDomainSelector::new(config.clone().with_mode(mode));
+        assert_eq!(selector.pipeline().stage_names(), names, "{mode:?}");
+    };
+    expect(EstimationMode::CpeAndLge, &["cpe", "lge"]);
+    expect(EstimationMode::CpeOnly, &["cpe"]);
+    expect(EstimationMode::LgeOnly, &["empirical", "lge"]);
+    expect(EstimationMode::BktOnly, &["bkt"]);
+    expect(EstimationMode::RaschCalibrated, &["rasch"]);
+    expect(EstimationMode::CpeBktEnsemble, &["ensemble"]);
+}
