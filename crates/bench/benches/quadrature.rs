@@ -1,0 +1,164 @@
+//! Roofline-style micro-benchmark of the batched SoA quadrature kernel.
+//!
+//! Sweeps mask-group sizes (`workers`) against Gauss–Legendre orders
+//! (`nodes`) and, for every cell, times one batched
+//! [`BinomialNormalBatch::moments`] sweep against the equivalent per-worker
+//! scalar [`binomial_normal_moments`] loop — the exact pair of paths the CPE
+//! hot paths switched between. Reported per cell:
+//!
+//! * median wall-clock of each path (self-timed; medians are robust to the
+//!   1-core container's scheduling noise),
+//! * batched **ns per worker-node** — the roofline quantity: a node-major
+//!   fused multiply-add plus one `exp` per worker-node,
+//! * **effective GB/s** of the batched sweep under the traffic model
+//!   documented on [`QuadratureCell::effective_gb_per_s`],
+//! * the **speedup** over the scalar loop (the scalar path re-derives every
+//!   per-node logarithm per worker; the batched sweep streams shared tables).
+//!
+//! Every cell first asserts the two paths agree **bit for bit** before any
+//! timing, so the numbers can never describe drifted arithmetic.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench quadrature
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `C4U_QUAD_WORKERS` — comma-separated group sizes (default
+//!   `1000,10000,100000`);
+//! * `C4U_QUAD_NODES` — comma-separated quadrature orders (default
+//!   `16,32,64`);
+//! * `C4U_QUAD_SAMPLES` — timing samples per cell (default 7; the median is
+//!   reported);
+//! * `C4U_QUAD_REPORT` — trajectory-file path (default
+//!   `BENCH_quadrature.json` at the workspace root; empty disables writing).
+
+use c4u_bench::{
+    append_quadrature_run, quadrature_report_path, render_quadrature_run, QuadratureCell,
+};
+use c4u_stats::{binomial_normal_moments, BinomialNormalBatch, GaussLegendre};
+use std::time::Instant;
+
+/// Parses a comma-separated `usize` list from the environment.
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) if !raw.is_empty() => raw
+            .split(',')
+            .filter_map(|v| v.trim().parse().ok())
+            .filter(|&v| v > 0)
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Deterministic per-worker cells shaped like a CPE mask group: conditional
+/// means spread across the accuracy range, modest answer counts.
+fn make_group(workers: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut mu = Vec::with_capacity(workers);
+    let mut c = Vec::with_capacity(workers);
+    let mut x = Vec::with_capacity(workers);
+    for w in 0..workers {
+        mu.push(0.15 + 0.7 * (w as f64 / workers.max(1) as f64));
+        let correct = (2 + (w * 7) % 8) as f64;
+        c.push(correct);
+        x.push(10.0 - correct);
+    }
+    (mu, c, x)
+}
+
+/// Median of a sample vector (sorted in place).
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+const SIGMA: f64 = 0.12;
+
+fn main() {
+    let workers_sweep = env_list("C4U_QUAD_WORKERS", &[1_000, 10_000, 100_000]);
+    let nodes_sweep = env_list("C4U_QUAD_NODES", &[16, 32, 64]);
+    let samples = env_usize("C4U_QUAD_SAMPLES", 7);
+
+    println!("Batched SoA quadrature sweep vs per-worker scalar loop");
+    println!("(sigma = {SIGMA}, {samples} samples per cell, medians reported)\n");
+    println!(
+        "  {:>8} {:>6} {:>14} {:>14} {:>12} {:>10} {:>8}",
+        "workers", "nodes", "batched ns", "scalar ns", "ns/(w*n)", "eff GB/s", "speedup"
+    );
+
+    let mut cells = Vec::new();
+    for &nodes in &nodes_sweep {
+        let quadrature = GaussLegendre::new(nodes);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        for &workers in &workers_sweep {
+            let (mu, c, x) = make_group(workers);
+            let mut log_z = vec![0.0; workers];
+            let mut mean = vec![0.0; workers];
+
+            // Correctness gate before any timing: the batched sweep must be
+            // bit-identical to the scalar oracle on this exact group.
+            batch.moments(SIGMA, &mu, &c, &x, &mut log_z, &mut mean);
+            for w in 0..workers {
+                let (scalar_log_z, scalar_mean) =
+                    binomial_normal_moments(&quadrature, mu[w], SIGMA, c[w], x[w]);
+                assert_eq!(log_z[w], scalar_log_z, "log Z drift at worker {w}");
+                assert_eq!(mean[w], scalar_mean, "posterior-mean drift at worker {w}");
+            }
+
+            let mut batched_ns = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let start = Instant::now();
+                batch.moments(SIGMA, &mu, &c, &x, &mut log_z, &mut mean);
+                batched_ns.push(start.elapsed().as_nanos() as f64);
+            }
+
+            let mut scalar_ns = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let start = Instant::now();
+                for w in 0..workers {
+                    let (lz, m) = binomial_normal_moments(&quadrature, mu[w], SIGMA, c[w], x[w]);
+                    log_z[w] = lz;
+                    mean[w] = m;
+                }
+                scalar_ns.push(start.elapsed().as_nanos() as f64);
+            }
+
+            let cell = QuadratureCell {
+                workers,
+                nodes,
+                batched_median_ns: median_ns(&mut batched_ns),
+                scalar_median_ns: median_ns(&mut scalar_ns),
+            };
+            println!(
+                "  {:>8} {:>6} {:>14.0} {:>14.0} {:>12.2} {:>10.2} {:>7.1}x",
+                cell.workers,
+                cell.nodes,
+                cell.batched_median_ns,
+                cell.scalar_median_ns,
+                cell.ns_per_worker_node(),
+                cell.effective_gb_per_s(),
+                cell.speedup()
+            );
+            cells.push(cell);
+        }
+    }
+
+    match quadrature_report_path() {
+        Some(path) => {
+            let line = render_quadrature_run(&cells);
+            match append_quadrature_run(&path, &line) {
+                Ok(()) => println!("\nappended run to {}", path.display()),
+                Err(err) => eprintln!("\nwarning: could not write {}: {err}", path.display()),
+            }
+        }
+        None => println!("\nreport writing disabled (C4U_QUAD_REPORT is empty)"),
+    }
+}

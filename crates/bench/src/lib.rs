@@ -19,7 +19,10 @@
 //!   larger values trade scoped threads for wall-clock on big pools, so table
 //!   numbers never depend on the setting;
 //! * `C4U_CELL_CACHE` — directory for the resumable per-cell result cache
-//!   ([`evaluate_cells_resumable`]; unset disables persistence).
+//!   ([`evaluate_cells_resumable`]; unset disables persistence);
+//! * `C4U_QUAD_WORKERS` / `C4U_QUAD_NODES` / `C4U_QUAD_SAMPLES` /
+//!   `C4U_QUAD_REPORT` — the `quadrature` roofline bench's sweep cells,
+//!   sample count, and trajectory-file path (see the [`report`] module).
 //!
 //! Dataset generation is memoised process-wide ([`cached_generate`]): sweep
 //! cells sharing a configuration share one generated dataset, so a table that
@@ -34,8 +37,12 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod report;
 
 pub use cache::{cell_cache_dir, SweepStats, CELL_CACHE_ENV};
+pub use report::{
+    append_quadrature_run, quadrature_report_path, render_quadrature_run, QuadratureCell,
+};
 
 use c4u_crowd_sim::{generate, Dataset, DatasetConfig, SimError};
 use c4u_selection::{

@@ -1,0 +1,240 @@
+//! Machine-readable bench reports (`BENCH_*.json`).
+//!
+//! The `quadrature` bench target emits one **run** — a list of per-cell
+//! medians over its `workers x nodes` sweep — into a committed trajectory
+//! file, so the repository records how the hot-path throughput evolves across
+//! changes. The format is a single JSON document with one run object per
+//! line:
+//!
+//! ```json
+//! {"schema":1,"bench":"quadrature","runs":[
+//! {"cells":[{"workers":1000,"nodes":16,...}]},
+//! {"cells":[{"workers":1000,"nodes":16,...}]}
+//! ]}
+//! ```
+//!
+//! Appending a run is a textual splice before the closing `]}` — no JSON
+//! parser needed on either side — and files that do not end with the expected
+//! closer are rewritten from scratch rather than trusted. Like the cell cache
+//! ([`crate::cache`]), floats use Rust's shortest round-trip rendering so the
+//! recorded numbers are exactly the measured ones, and writes go through a
+//! temp-file rename so an interrupted bench never leaves a truncated report.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Environment variable naming the quadrature report path. Empty disables
+/// writing; unset uses [`QUADRATURE_REPORT_DEFAULT`] (relative to the `cargo
+/// bench` working directory, i.e. the workspace root).
+pub const QUADRATURE_REPORT_ENV: &str = "C4U_QUAD_REPORT";
+
+/// Default quadrature report file name, placed at the workspace root (bench
+/// binaries run with the package directory as working directory, so the
+/// default resolves against the compile-time manifest location instead).
+pub const QUADRATURE_REPORT_DEFAULT: &str = "BENCH_quadrature.json";
+
+/// One `(workers, nodes)` cell of the quadrature sweep: median wall-clock of
+/// the batched structure-of-arrays sweep and of the equivalent per-worker
+/// scalar loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadratureCell {
+    /// Workers per batched call (the mask-group size).
+    pub workers: usize,
+    /// Quadrature nodes (the Gauss–Legendre order).
+    pub nodes: usize,
+    /// Median nanoseconds of one batched `moments` sweep over all workers.
+    pub batched_median_ns: f64,
+    /// Median nanoseconds of the per-worker scalar loop over all workers.
+    pub scalar_median_ns: f64,
+}
+
+impl QuadratureCell {
+    /// Batched nanoseconds per worker-node — the roofline quantity.
+    pub fn ns_per_worker_node(&self) -> f64 {
+        self.batched_median_ns / (self.workers * self.nodes) as f64
+    }
+
+    /// Scalar nanoseconds per worker-node, for the same denominator.
+    pub fn scalar_ns_per_worker_node(&self) -> f64 {
+        self.scalar_median_ns / (self.workers * self.nodes) as f64
+    }
+
+    /// Scalar over batched wall-clock: the throughput multiple the SoA layout
+    /// buys on this cell.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_median_ns / self.batched_median_ns
+    }
+
+    /// Effective streamed bandwidth of the batched sweep in GB/s, under the
+    /// traffic model `workers x (5 x nodes + 5) x 8` bytes per call: per
+    /// worker the kernel streams four node tables (`h`, clamped `h`, `ln h`,
+    /// `ln(1-h)`) plus the scratch buffer (written then read, counted once),
+    /// and about five scalars of per-worker data (`mu`, `c`, `x`, and the two
+    /// outputs). An upper bound on useful traffic, so the number is a
+    /// roofline *floor*: reaching a given fraction of memory bandwidth proves
+    /// at least that much of the sweep is streaming, not stalling.
+    pub fn effective_gb_per_s(&self) -> f64 {
+        let bytes = (self.workers * (5 * self.nodes + 5) * 8) as f64;
+        bytes / self.batched_median_ns
+    }
+}
+
+/// `f64` → JSON value: shortest round-trip decimal, non-finite as `null`.
+fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one run (all cells of one bench invocation) as a single JSON line.
+pub fn render_quadrature_run(cells: &[QuadratureCell]) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|cell| {
+            format!(
+                "{{\"workers\":{},\"nodes\":{},\"batched_median_ns\":{},\"scalar_median_ns\":{},\"ns_per_worker_node\":{},\"scalar_ns_per_worker_node\":{},\"speedup\":{},\"effective_gb_per_s\":{}}}",
+                cell.workers,
+                cell.nodes,
+                format_f64(cell.batched_median_ns),
+                format_f64(cell.scalar_median_ns),
+                format_f64(cell.ns_per_worker_node()),
+                format_f64(cell.scalar_ns_per_worker_node()),
+                format_f64(cell.speedup()),
+                format_f64(cell.effective_gb_per_s()),
+            )
+        })
+        .collect();
+    format!("{{\"cells\":[{}]}}", rendered.join(","))
+}
+
+/// The document frame around a list of run lines.
+fn render_document(run_lines: &[&str]) -> String {
+    format!(
+        "{{\"schema\":1,\"bench\":\"quadrature\",\"runs\":[\n{}\n]}}\n",
+        run_lines.join(",\n")
+    )
+}
+
+/// The closing bytes every well-formed report ends with.
+const CLOSER: &str = "\n]}\n";
+
+/// Appends one run line to the trajectory file, creating it if absent.
+///
+/// A present file must end with the document closer; the new line is spliced
+/// in before it. A file that does not (hand-edited, truncated, or foreign) is
+/// replaced by a fresh single-run document — the report is a convenience
+/// record, not a source of truth worth failing a bench run over.
+pub fn append_quadrature_run(path: &Path, run_line: &str) -> io::Result<()> {
+    let document = match fs::read_to_string(path) {
+        Ok(existing) if existing.ends_with(CLOSER) => {
+            let body = &existing[..existing.len() - CLOSER.len()];
+            format!("{body},\n{run_line}{CLOSER}")
+        }
+        _ => render_document(&[run_line]),
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, document)?;
+    fs::rename(&tmp, path)
+}
+
+/// The report path from `C4U_QUAD_REPORT`: `None` when explicitly disabled
+/// with an empty value, the default path when unset.
+pub fn quadrature_report_path() -> Option<std::path::PathBuf> {
+    match std::env::var_os(QUADRATURE_REPORT_ENV) {
+        Some(v) if v.is_empty() => None,
+        Some(v) => Some(std::path::PathBuf::from(v)),
+        None => Some(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(QUADRATURE_REPORT_DEFAULT),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> QuadratureCell {
+        QuadratureCell {
+            workers: 1000,
+            nodes: 16,
+            batched_median_ns: 2_000_000.0,
+            scalar_median_ns: 10_000_000.0,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = cell();
+        assert!((c.ns_per_worker_node() - 125.0).abs() < 1e-12);
+        assert!((c.scalar_ns_per_worker_node() - 625.0).abs() < 1e-12);
+        assert!((c.speedup() - 5.0).abs() < 1e-12);
+        // 1000 * (5 * 16 + 5) * 8 bytes = 680 kB over 2 ms = 0.34 GB/s.
+        assert!((c.effective_gb_per_s() - 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_line_is_one_line_of_json() {
+        let line = render_quadrature_run(&[cell(), cell()]);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"cells\":["));
+        assert!(line.ends_with("]}"));
+        assert_eq!(line.matches("\"workers\":1000").count(), 2);
+    }
+
+    #[test]
+    fn append_creates_then_extends() {
+        let dir = std::env::temp_dir().join(format!("c4u-report-{}", std::process::id()));
+        let path = dir.join("BENCH_quadrature.json");
+        let _ = fs::remove_file(&path);
+
+        let line = render_quadrature_run(&[cell()]);
+        append_quadrature_run(&path, &line).unwrap();
+        let first = fs::read_to_string(&path).unwrap();
+        assert!(first.starts_with("{\"schema\":1,\"bench\":\"quadrature\",\"runs\":[\n"));
+        assert!(first.ends_with(CLOSER));
+        assert_eq!(first.matches("\"cells\"").count(), 1);
+
+        append_quadrature_run(&path, &line).unwrap();
+        let second = fs::read_to_string(&path).unwrap();
+        assert_eq!(second.matches("\"cells\"").count(), 2);
+        // The two run lines are comma-separated inside the runs array.
+        assert!(second.contains("]},\n{\"cells\""));
+        assert!(second.ends_with(CLOSER));
+
+        fs::remove_file(&path).unwrap();
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn malformed_files_are_replaced_not_trusted() {
+        let dir = std::env::temp_dir().join(format!("c4u-report-bad-{}", std::process::id()));
+        let path = dir.join("BENCH_quadrature.json");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(&path, "truncated garbage").unwrap();
+
+        let line = render_quadrature_run(&[cell()]);
+        append_quadrature_run(&path, &line).unwrap();
+        let doc = fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with("{\"schema\":1"));
+        assert!(!doc.contains("garbage"));
+
+        fs::remove_file(&path).unwrap();
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn non_finite_medians_render_as_null() {
+        let mut c = cell();
+        c.batched_median_ns = f64::NAN;
+        let line = render_quadrature_run(&[c]);
+        assert!(line.contains("\"batched_median_ns\":null"));
+    }
+}

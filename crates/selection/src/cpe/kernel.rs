@@ -9,7 +9,7 @@
 //! the per-observation loop the estimator historically ran repeated the same
 //! factorisation once per worker, per parameter perturbation, per epoch.
 //!
-//! [`CpeLikelihoodKernel`] restructures that hot path in two layers:
+//! [`CpeLikelihoodKernel`] restructures that hot path in three layers:
 //!
 //! 1. [`MaskGroups`] — built once per `update()`/`predict_batch()` entry, it
 //!    partitions the observations by observed-domain mask (first-occurrence
@@ -18,18 +18,25 @@
 //! 2. per model evaluation, the kernel asks the model for **one**
 //!    [`Conditioner`](c4u_stats::Conditioner) per unique mask and applies it to
 //!    every member of the group — an `O(g^2)` triangular solve per worker
-//!    instead of an `O(g^3)` factorisation per worker.
+//!    instead of an `O(g^3)` factorisation per worker;
+//! 3. the Eq. 5 normalisers and Eq. 8 posterior means of a whole group are
+//!    computed by **one** batched structure-of-arrays quadrature sweep per
+//!    unique mask ([`c4u_stats::BinomialNormalBatch`], node tables built once
+//!    per kernel), not one scalar `binomial_normal_moments` /
+//!    `binomial_normal_log_z` call per worker.
 //!
 //! The factorisation count per `update()` therefore drops from
 //! `O(epochs x params x workers)` to `O(epochs x params x unique_masks)` —
 //! and with the closed-form Eq. 6–7 oracle of the [`gradient`] sub-layer (the
 //! default), the `params` factor disappears entirely: one vectorised sweep
-//! per unique mask per epoch.
+//! per unique mask per epoch. The batched-sweep count obeys the same contract
+//! (`O(unique_masks)` per likelihood or prediction pass, pinned by
+//! `tests/quadrature_batching.rs` through the `c4u_stats` sweep counters).
 //! Results are **bit-for-bit identical** to the per-observation loop: the
-//! cached factorisation performs exactly the same floating-point operations,
-//! per-observation terms are accumulated in the original observation order,
-//! and `tests/kernel_equivalence.rs` pins this against a literal transcription
-//! of the historical code.
+//! cached factorisation and the batched sweep perform exactly the same
+//! floating-point operations, per-observation terms are accumulated in the
+//! original observation order, and `tests/kernel_equivalence.rs` pins this
+//! against a literal transcription of the historical code.
 //!
 //! ## Usage
 //!
@@ -68,7 +75,7 @@ pub mod gradient;
 
 use super::CpeObservation;
 use crate::SelectionError;
-use c4u_stats::{Conditioner, GaussLegendre, MultivariateNormal};
+use c4u_stats::{BinomialNormalBatch, Conditioner, GaussLegendre, MultivariateNormal};
 use std::collections::HashMap;
 
 /// The observations sharing one observed-domain mask.
@@ -159,21 +166,56 @@ pub struct CpeLikelihoodKernel<'a> {
     groups: MaskGroups,
     /// Index of the target-domain coordinate (`D`, the last coordinate).
     target: usize,
-    quadrature: &'a GaussLegendre,
+    /// Structure-of-arrays node/grid tables for the batched binomial×normal
+    /// sweeps, built once per kernel from the caller's rule and shared by the
+    /// likelihood, prediction and gradient paths (the rule itself is no longer
+    /// needed afterwards — every sweep runs over these tables).
+    batch: BinomialNormalBatch,
+    /// Per-group `(correct, wrong)` counts as flat `f64` arrays aligned with
+    /// each group's members — the model-independent half of the batched-sweep
+    /// inputs, precomputed once per kernel.
+    counts: Vec<GroupCounts>,
+}
+
+/// The model-independent per-member answer counts of one mask group, laid out
+/// for the batched quadrature sweep.
+#[derive(Debug, Clone)]
+struct GroupCounts {
+    correct: Vec<f64>,
+    wrong: Vec<f64>,
 }
 
 impl<'a> CpeLikelihoodKernel<'a> {
-    /// Builds the kernel, grouping the observations by observed-domain mask.
+    /// Builds the kernel, grouping the observations by observed-domain mask
+    /// and tabulating the shared quadrature node tables.
     pub fn new(
         observations: &'a [CpeObservation],
         num_prior_domains: usize,
         quadrature: &'a GaussLegendre,
     ) -> Self {
+        let groups = MaskGroups::build(observations, num_prior_domains);
+        let counts = groups
+            .groups()
+            .iter()
+            .map(|group| GroupCounts {
+                correct: group
+                    .members()
+                    .iter()
+                    .map(|&p| observations[p].correct as f64)
+                    .collect(),
+                wrong: group
+                    .members()
+                    .iter()
+                    .map(|&p| observations[p].wrong as f64)
+                    .collect(),
+            })
+            .collect();
         Self {
             observations,
-            groups: MaskGroups::build(observations, num_prior_domains),
+            groups,
             target: num_prior_domains,
-            quadrature,
+            batch: BinomialNormalBatch::new(quadrature),
+            counts,
         }
     }
 
@@ -183,25 +225,28 @@ impl<'a> CpeLikelihoodKernel<'a> {
     }
 
     /// Marginal log-likelihood of every observation under `model` (one `log Z`
-    /// of Eq. 5 per observation, in original observation order).
+    /// of Eq. 5 per observation, in original observation order): one batched
+    /// log-Z sweep over the shared node tables per unique mask.
     pub fn per_observation_log_likelihood(
         &self,
         model: &MultivariateNormal,
     ) -> Result<Vec<f64>, SelectionError> {
         let mut out = vec![0.0; self.observations.len()];
-        self.for_each_conditional(model, |position, obs, mean, std_dev| {
+        let mut mu = Vec::new();
+        let mut log_z = Vec::new();
+        for (group, counts) in self.groups.groups().iter().zip(&self.counts) {
+            let sigma = self.conditional_means(model, group, &mut mu)?;
+            log_z.clear();
+            log_z.resize(mu.len(), 0.0);
             // log-Z only: the posterior-mean integral is prediction-side work,
             // and skipping it here halves the quadrature cost of the gradient
             // sweep without touching a bit of `log Z`.
-            out[position] = binomial_normal_log_z(
-                self.quadrature,
-                mean,
-                std_dev,
-                obs.correct as f64,
-                obs.wrong as f64,
-            );
-            Ok(())
-        })?;
+            self.batch
+                .log_z(sigma, &mu, &counts.correct, &counts.wrong, &mut log_z);
+            for (&position, &lz) in group.members().iter().zip(&log_z) {
+                out[position] = lz;
+            }
+        }
         Ok(out)
     }
 
@@ -228,45 +273,56 @@ impl<'a> CpeLikelihoodKernel<'a> {
         use_posterior: bool,
     ) -> Result<Vec<f64>, SelectionError> {
         let mut out = vec![0.0; self.observations.len()];
-        self.for_each_conditional(model, |position, obs, mean, std_dev| {
-            let (c, x) = if use_posterior {
-                (obs.correct as f64, obs.wrong as f64)
+        let mut mu = Vec::new();
+        let mut log_z = Vec::new();
+        let mut mean = Vec::new();
+        let mut zeros = Vec::new();
+        for (group, counts) in self.groups.groups().iter().zip(&self.counts) {
+            let sigma = self.conditional_means(model, group, &mut mu)?;
+            log_z.clear();
+            log_z.resize(mu.len(), 0.0);
+            mean.clear();
+            mean.resize(mu.len(), 0.0);
+            let (c, x): (&[f64], &[f64]) = if use_posterior {
+                (&counts.correct, &counts.wrong)
             } else {
-                (0.0, 0.0)
+                zeros.clear();
+                zeros.resize(mu.len(), 0.0);
+                (&zeros, &zeros)
             };
-            let (log_z, posterior_mean) =
-                binomial_normal_moments(self.quadrature, mean, std_dev, c, x);
-            if !log_z.is_finite() || !posterior_mean.is_finite() {
-                return Err(SelectionError::Numerical(
-                    "CPE prediction integral did not converge".to_string(),
-                ));
+            self.batch.moments(sigma, &mu, c, x, &mut log_z, &mut mean);
+            for ((&position, &lz), &posterior_mean) in group.members().iter().zip(&log_z).zip(&mean)
+            {
+                if !lz.is_finite() || !posterior_mean.is_finite() {
+                    return Err(SelectionError::Numerical(
+                        "CPE prediction integral did not converge".to_string(),
+                    ));
+                }
+                out[position] = posterior_mean.clamp(0.0, 1.0);
             }
-            out[position] = posterior_mean.clamp(0.0, 1.0);
-            Ok(())
-        })?;
+        }
         Ok(out)
     }
 
-    /// Runs `f(position, observation, conditional_mean, conditional_std_dev)`
-    /// for every observation, building one [`Conditioner`] per unique mask.
-    fn for_each_conditional(
+    /// Conditions `model` on one group's mask: **one** [`Conditioner`] per
+    /// unique mask, one `O(g^2)` triangular solve per member. The per-member
+    /// conditional means land in `mu` (cleared first); the returned value is
+    /// the group's shared conditional standard deviation (value-independent,
+    /// and bit-identical to the historical per-member
+    /// `Conditional1D::std_dev()` — both are `conditioner.variance().sqrt()`).
+    fn conditional_means(
         &self,
         model: &MultivariateNormal,
-        mut f: impl FnMut(usize, &CpeObservation, f64, f64) -> Result<(), SelectionError>,
-    ) -> Result<(), SelectionError> {
-        for group in self.groups.groups() {
-            let conditioner: Conditioner = model.conditioner(self.target, group.observed_idx())?;
-            for (&position, values) in group.members().iter().zip(group.values()) {
-                let cond = conditioner.condition(values)?;
-                f(
-                    position,
-                    &self.observations[position],
-                    cond.mean,
-                    cond.std_dev(),
-                )?;
-            }
+        group: &MaskGroup,
+        mu: &mut Vec<f64>,
+    ) -> Result<f64, SelectionError> {
+        let conditioner: Conditioner = model.conditioner(self.target, group.observed_idx())?;
+        let sigma = conditioner.variance().sqrt();
+        mu.clear();
+        for values in group.values() {
+            mu.push(conditioner.condition(values)?.mean);
         }
-        Ok(())
+        Ok(sigma)
     }
 }
 
@@ -286,8 +342,12 @@ pub fn observed_domains(obs: &CpeObservation, num_domains: usize) -> (Vec<usize>
 
 // The binomial×normal integrand itself lives in `c4u_stats` (alongside its
 // closed-form derivatives, which the [`gradient`] layer consumes); the kernel
-// re-exports it so existing callers keep their import paths. The `c4u_stats`
-// implementation also carries the near-endpoint peak-bracketing fix: the
+// re-exports the scalar forms so existing callers keep their import paths.
+// The kernel's own hot paths no longer call them per worker — whole mask
+// groups go through one `BinomialNormalBatch` sweep — but the scalar forms
+// remain the pinned bit-for-bit oracle for the batched results. The
+// `c4u_stats` implementation also carries the near-endpoint peak-bracketing
+// fix: the
 // historical grid spanned `[0.0125, 0.9875]`, so integrands peaking inside the
 // end gaps (large `C` with `X = 0`, or vice versa) underestimated `log_max`
 // and collapsed `log Z` to `-inf`; interior-peaked integrands are bit-for-bit

@@ -4,10 +4,11 @@
 //! The Eq. 5 objective is `L = Σ_i log Z_i` with
 //! `Z_i = ∫_0^1 h^{C_i} (1-h)^{X_i} N(h; m_i, v) dh`, where `(m_i, v)` are the
 //! conditional mean and variance of the target accuracy given worker `i`'s
-//! observed prior domains. [`c4u_stats::binomial_normal_log_z_gradients`]
-//! supplies `∂ log Z_i / ∂ m_i` and `∂ log Z_i / ∂ v` in one vectorised sweep
-//! per mask group (the variance — and therefore the quadrature tables — is
-//! shared by every member of a group); this module backpropagates those two
+//! observed prior domains. [`c4u_stats::BinomialNormalBatch::log_z_gradients`]
+//! (over the kernel's shared SoA node tables) supplies `∂ log Z_i / ∂ m_i` and
+//! `∂ log Z_i / ∂ v` in one vectorised sweep per mask group (the variance —
+//! and therefore the quadrature tables — is shared by every member of a
+//! group); this module backpropagates those two
 //! scalars through the conditioning map onto the model parameters the
 //! estimator actually optimises: the mean vector and the packed lower triangle
 //! of the covariance.
@@ -43,9 +44,7 @@ use crate::cpe::{from_lower_triangle, OBJECTIVE_PENALTY};
 use crate::SelectionError;
 use c4u_linalg::{packed_length, PackedLowerTriangle, Vector};
 use c4u_optim::GradientOracle;
-use c4u_stats::{
-    binomial_normal_log_z_gradients, nearest_positive_definite, Conditioner, MultivariateNormal,
-};
+use c4u_stats::{nearest_positive_definite, Conditioner, MultivariateNormal};
 use std::cell::RefCell;
 
 /// The Eq. 5 log-likelihood together with its closed-form Eq. 6–7 gradient in
@@ -109,8 +108,10 @@ impl CpeLikelihoodKernel<'_> {
                 solves.push(w);
             }
 
-            // One vectorised sweep: log Z, ∂/∂m, ∂/∂v for the whole group.
-            let grads = binomial_normal_log_z_gradients(self.quadrature, sigma, &batch);
+            // One vectorised sweep: log Z, ∂/∂m, ∂/∂v for the whole group,
+            // over the kernel's shared SoA node tables (built once per kernel,
+            // not once per group per evaluation).
+            let grads = self.batch.log_z_gradients(sigma, &batch);
 
             // Group-level sufficient statistics of the backpropagation.
             let mut sum_d_mean = 0.0;

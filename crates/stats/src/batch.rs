@@ -1,0 +1,524 @@
+//! Batched structure-of-arrays evaluation of the binomial×normal integrals.
+//!
+//! The CPE hot paths — the likelihood inside `update()` and the Eq. 8
+//! posterior-mean integral inside `predict_batch()` — evaluate the same
+//! integrand `h^C (1-h)^X N(h; mu, sigma^2)` for every worker of a mask group,
+//! over the *same* Gauss–Legendre nodes and with the *same* conditional
+//! `sigma`. The scalar functions in [`crate::binomial_normal`] recompute the
+//! node logarithms `ln h` / `ln(1-h)` and the peak-bracketing grid once per
+//! worker; [`BinomialNormalBatch`] tabulates them once per rule into flat
+//! contiguous buffers and then sweeps a whole `(mu, c, x)` batch over them in
+//! node-major inner loops.
+//!
+//! Per worker the sweep is two passes over the node tables:
+//!
+//! 1. the shifted log-integrand values land in a contiguous scratch buffer —
+//!    a pure mul/add loop over `node_lh`/`node_l1h`/`node_hc` that the
+//!    autovectoriser turns into f64 lanes;
+//! 2. exponentiation and accumulation run in node order, preserving the exact
+//!    summation order of [`GaussLegendre::integrate`].
+//!
+//! Every arithmetic expression replicates the scalar path operation for
+//! operation (same clamp, same subtraction order, same fold of the interval
+//! half-width into the final sum), so the batched results are **bit-identical**
+//! to [`binomial_normal_moments`] / [`binomial_normal_log_z`] — the scalar
+//! functions remain the pinned cross-check oracle, enforced by the equivalence
+//! and property suites rather than by an epsilon.
+//!
+//! The module also owns the thread-local diagnostic counters that let tests pin
+//! the batching contract: a likelihood evaluation or a `predict_batch` pass
+//! must cost `O(unique_masks)` batched sweeps, not `O(workers)` scalar
+//! evaluations (mirroring the conditioning-factorisation counter in
+//! [`crate::mvn`]).
+//!
+//! ```
+//! use c4u_stats::{binomial_normal_moments, BinomialNormalBatch, GaussLegendre};
+//!
+//! let quadrature = GaussLegendre::new(32);
+//! let batch = BinomialNormalBatch::new(&quadrature);
+//!
+//! // One mask group: three workers sharing a conditional sigma.
+//! let sigma = 0.12;
+//! let mu = [0.55, 0.7, 0.3];
+//! let c = [7.0, 0.0, 2.0];
+//! let x = [3.0, 0.0, 8.0];
+//! let mut log_z = [0.0; 3];
+//! let mut mean = [0.0; 3];
+//! batch.moments(sigma, &mu, &c, &x, &mut log_z, &mut mean);
+//!
+//! // Bit-identical to the scalar oracle, worker by worker.
+//! for i in 0..3 {
+//!     let (lz, m) = binomial_normal_moments(&quadrature, mu[i], sigma, c[i], x[i]);
+//!     assert_eq!(log_z[i], lz);
+//!     assert_eq!(mean[i], m);
+//! }
+//! ```
+
+use crate::binomial_normal::{bracketing_points, LogZGradient, SIGMA_FLOOR};
+use crate::integrate::GaussLegendre;
+use std::cell::Cell;
+
+thread_local! {
+    static BATCHED_QUADRATURE_SWEEPS: Cell<u64> = const { Cell::new(0) };
+    static SCALAR_QUADRATURE_EVALUATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of batched quadrature sweeps (one [`BinomialNormalBatch`] call over a
+/// whole mask group) recorded on this thread since the last reset.
+///
+/// Together with [`scalar_quadrature_evaluations`] this lets tests pin the
+/// batching contract of the CPE hot paths: `O(unique_masks)` sweeps per
+/// evaluation, zero scalar evaluations.
+pub fn batched_quadrature_sweeps() -> u64 {
+    BATCHED_QUADRATURE_SWEEPS.with(Cell::get)
+}
+
+/// Resets this thread's [`batched_quadrature_sweeps`] counter to zero.
+pub fn reset_batched_quadrature_sweeps() {
+    BATCHED_QUADRATURE_SWEEPS.with(|c| c.set(0));
+}
+
+/// Number of scalar binomial×normal evaluations
+/// ([`binomial_normal_moments`](crate::binomial_normal_moments) /
+/// [`binomial_normal_log_z`](crate::binomial_normal_log_z)) recorded on this
+/// thread since the last reset.
+pub fn scalar_quadrature_evaluations() -> u64 {
+    SCALAR_QUADRATURE_EVALUATIONS.with(Cell::get)
+}
+
+/// Resets this thread's [`scalar_quadrature_evaluations`] counter to zero.
+pub fn reset_scalar_quadrature_evaluations() {
+    SCALAR_QUADRATURE_EVALUATIONS.with(|c| c.set(0));
+}
+
+pub(crate) fn record_batched_sweep() {
+    BATCHED_QUADRATURE_SWEEPS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_scalar_evaluation() {
+    SCALAR_QUADRATURE_EVALUATIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Structure-of-arrays tables for batched binomial×normal quadrature over one
+/// [`GaussLegendre`] rule on `[0, 1]`.
+///
+/// Built once per rule (cheap: one `ln` pair per node and grid point) and
+/// reused for every mask group and every model evaluation. All buffers are
+/// flat and contiguous; the per-worker inner loops index them node-major.
+#[derive(Debug, Clone)]
+pub struct BinomialNormalBatch {
+    /// Mapped node positions `mid + half * x` on `[0, 1]`, unclamped — the
+    /// posterior-mean integrand multiplies by the *raw* node position, exactly
+    /// as the scalar moment closure does.
+    node_h: Vec<f64>,
+    /// Node positions clamped to `[1e-12, 1 - 1e-12]` — the argument of the
+    /// log-integrand (and of the gradient sweep's `h - mu`).
+    node_hc: Vec<f64>,
+    /// Raw rule weights. [`GaussLegendre::integrate`] folds the interval
+    /// half-width into the final sum, so the moments path must accumulate with
+    /// raw weights and scale once at the end to stay bit-identical.
+    node_w: Vec<f64>,
+    /// Weights with the half-width folded in (`w * half`), as
+    /// [`GaussLegendre::points`] yields them — the gradient sweep's historical
+    /// accumulation uses these with no final scaling.
+    node_wf: Vec<f64>,
+    /// `ln h` at the clamped nodes.
+    node_lh: Vec<f64>,
+    /// `ln(1 - h)` at the clamped nodes.
+    node_l1h: Vec<f64>,
+    /// The peak-bracketing grid (clamped) and its log tables, in
+    /// `bracketing_points()` order so the `log_max` fold visits grid points in
+    /// the scalar order.
+    grid_hc: Vec<f64>,
+    grid_lh: Vec<f64>,
+    grid_l1h: Vec<f64>,
+}
+
+/// Interval half-width and midpoint of `[0, 1]` — written as the same
+/// expressions `GaussLegendre::integrate`/`points` evaluate so the mapped
+/// nodes and folded weights carry identical bits.
+const HALF: f64 = 0.5 * (1.0 - 0.0);
+const MID: f64 = 0.5 * (0.0 + 1.0);
+
+impl BinomialNormalBatch {
+    /// Tabulates the SoA buffers for `quadrature` on `[0, 1]`.
+    pub fn new(quadrature: &GaussLegendre) -> Self {
+        let n = quadrature.order();
+        let mut node_h = Vec::with_capacity(n);
+        let mut node_hc = Vec::with_capacity(n);
+        let mut node_w = Vec::with_capacity(n);
+        let mut node_wf = Vec::with_capacity(n);
+        let mut node_lh = Vec::with_capacity(n);
+        let mut node_l1h = Vec::with_capacity(n);
+        for (x, w) in quadrature.raw_points() {
+            let h = MID + HALF * x;
+            let hc = h.clamp(1e-12, 1.0 - 1e-12);
+            node_h.push(h);
+            node_hc.push(hc);
+            node_w.push(w);
+            node_wf.push(w * HALF);
+            node_lh.push(hc.ln());
+            node_l1h.push((1.0 - hc).ln());
+        }
+        let mut grid_hc = Vec::new();
+        let mut grid_lh = Vec::new();
+        let mut grid_l1h = Vec::new();
+        for h in bracketing_points() {
+            let hc = h.clamp(1e-12, 1.0 - 1e-12);
+            grid_hc.push(hc);
+            grid_lh.push(hc.ln());
+            grid_l1h.push((1.0 - hc).ln());
+        }
+        Self {
+            node_h,
+            node_hc,
+            node_w,
+            node_wf,
+            node_lh,
+            node_l1h,
+            grid_hc,
+            grid_lh,
+            grid_l1h,
+        }
+    }
+
+    /// Number of quadrature nodes in the tables.
+    pub fn num_nodes(&self) -> usize {
+        self.node_h.len()
+    }
+
+    /// `log Z` of Eq. 5 for a whole shared-`sigma` batch: one sweep over the
+    /// node tables per worker, one counter tick for the whole call.
+    ///
+    /// `mu`, `c`, `x` and `log_z_out` must have equal lengths. Each output is
+    /// bit-identical to
+    /// [`binomial_normal_log_z`](crate::binomial_normal_log_z) at the same
+    /// `(mu, sigma, c, x)`; an underflowing normaliser yields
+    /// `f64::NEG_INFINITY` exactly as the scalar path does.
+    pub fn log_z(&self, sigma: f64, mu: &[f64], c: &[f64], x: &[f64], log_z_out: &mut [f64]) {
+        assert_eq!(mu.len(), c.len());
+        assert_eq!(mu.len(), x.len());
+        assert_eq!(mu.len(), log_z_out.len());
+        record_batched_sweep();
+        let sigma = sigma.max(SIGMA_FLOOR);
+        let ln_sigma = sigma.ln();
+        let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let mut scratch = vec![0.0; self.num_nodes()];
+        for i in 0..mu.len() {
+            let (mu_i, c_i, x_i) = (mu[i], c[i], x[i]);
+            let log_max = self.log_max(sigma, ln_sigma, half_ln_2pi, mu_i, c_i, x_i);
+            if !log_max.is_finite() {
+                log_z_out[i] = f64::NEG_INFINITY;
+                continue;
+            }
+            self.fill_shifted_log_integrand(
+                sigma,
+                ln_sigma,
+                half_ln_2pi,
+                mu_i,
+                c_i,
+                x_i,
+                log_max,
+                &mut scratch,
+            );
+            let mut sum_z = 0.0;
+            for (t, w) in scratch.iter().zip(&self.node_w) {
+                sum_z += w * t.exp();
+            }
+            let z = sum_z * HALF;
+            log_z_out[i] = if z <= 0.0 || !z.is_finite() {
+                f64::NEG_INFINITY
+            } else {
+                z.ln() + log_max
+            };
+        }
+    }
+
+    /// `(log Z, E[h])` of Eq. 5/8 for a whole shared-`sigma` batch.
+    ///
+    /// Outputs are bit-identical to
+    /// [`binomial_normal_moments`](crate::binomial_normal_moments) at the same
+    /// `(mu, sigma, c, x)`, including the underflow fallback
+    /// `(NEG_INFINITY, mu.clamp(0, 1))`.
+    pub fn moments(
+        &self,
+        sigma: f64,
+        mu: &[f64],
+        c: &[f64],
+        x: &[f64],
+        log_z_out: &mut [f64],
+        mean_out: &mut [f64],
+    ) {
+        assert_eq!(mu.len(), c.len());
+        assert_eq!(mu.len(), x.len());
+        assert_eq!(mu.len(), log_z_out.len());
+        assert_eq!(mu.len(), mean_out.len());
+        record_batched_sweep();
+        let sigma = sigma.max(SIGMA_FLOOR);
+        let ln_sigma = sigma.ln();
+        let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let mut scratch = vec![0.0; self.num_nodes()];
+        for i in 0..mu.len() {
+            let (mu_i, c_i, x_i) = (mu[i], c[i], x[i]);
+            let log_max = self.log_max(sigma, ln_sigma, half_ln_2pi, mu_i, c_i, x_i);
+            if !log_max.is_finite() {
+                log_z_out[i] = f64::NEG_INFINITY;
+                mean_out[i] = mu_i.clamp(0.0, 1.0);
+                continue;
+            }
+            self.fill_shifted_log_integrand(
+                sigma,
+                ln_sigma,
+                half_ln_2pi,
+                mu_i,
+                c_i,
+                x_i,
+                log_max,
+                &mut scratch,
+            );
+            // The scalar path runs the normaliser and the moment as two
+            // independent `integrate` calls over the same integrand values;
+            // one fused node-order pass reproduces both sums bit for bit
+            // because each accumulator sees the same terms in the same order.
+            let mut sum_z = 0.0;
+            let mut sum_m = 0.0;
+            for ((t, w), h) in scratch.iter().zip(&self.node_w).zip(&self.node_h) {
+                let e = t.exp();
+                sum_z += w * e;
+                sum_m += w * (h * e);
+            }
+            let z = sum_z * HALF;
+            let first = sum_m * HALF;
+            if z <= 0.0 || !z.is_finite() {
+                log_z_out[i] = f64::NEG_INFINITY;
+                mean_out[i] = mu_i.clamp(0.0, 1.0);
+            } else {
+                log_z_out[i] = z.ln() + log_max;
+                mean_out[i] = first / z;
+            }
+        }
+    }
+
+    /// `log Z` and its conditional-mean/variance derivatives for a
+    /// shared-`sigma` batch — the Eq. 6–7 gradient sweep, over these tables.
+    ///
+    /// Bit-identical to
+    /// [`binomial_normal_log_z_gradients`](crate::binomial_normal_log_z_gradients),
+    /// which now delegates here; the historical accumulation (folded weights,
+    /// combined normalisation constant, clamped node in `h - mu`) is preserved
+    /// operation for operation.
+    pub fn log_z_gradients(
+        &self,
+        sigma: f64,
+        observations: &[(f64, f64, f64)],
+    ) -> Vec<LogZGradient> {
+        record_batched_sweep();
+        let sigma = sigma.max(SIGMA_FLOOR);
+        let variance = sigma * sigma;
+        let norm_const = sigma.ln() + 0.5 * (2.0 * std::f64::consts::PI).ln();
+
+        observations
+            .iter()
+            .map(|&(mu, c, x)| {
+                let mut log_max = f64::NEG_INFINITY;
+                for ((hc, lh), l1h) in self.grid_hc.iter().zip(&self.grid_lh).zip(&self.grid_l1h) {
+                    let z = (hc - mu) / sigma;
+                    log_max = log_max.max(c * lh + x * l1h - 0.5 * z * z - norm_const);
+                }
+                if !log_max.is_finite() {
+                    return LogZGradient {
+                        log_z: f64::NEG_INFINITY,
+                        d_mean: 0.0,
+                        d_variance: 0.0,
+                    };
+                }
+                // One fused sweep for the three moments Z, E[h - mu], E[(h - mu)^2].
+                let (mut z0, mut z1, mut z2) = (0.0, 0.0, 0.0);
+                for (((hc, wf), lh), l1h) in self
+                    .node_hc
+                    .iter()
+                    .zip(&self.node_wf)
+                    .zip(&self.node_lh)
+                    .zip(&self.node_l1h)
+                {
+                    let z = (hc - mu) / sigma;
+                    let e = wf * (c * lh + x * l1h - 0.5 * z * z - norm_const - log_max).exp();
+                    let d = hc - mu;
+                    z0 += e;
+                    z1 += d * e;
+                    z2 += d * d * e;
+                }
+                if z0 <= 0.0 || !z0.is_finite() {
+                    return LogZGradient {
+                        log_z: f64::NEG_INFINITY,
+                        d_mean: 0.0,
+                        d_variance: 0.0,
+                    };
+                }
+                LogZGradient {
+                    log_z: z0.ln() + log_max,
+                    d_mean: (z1 / z0) / variance,
+                    d_variance: (z2 / z0 - variance) / (2.0 * variance * variance),
+                }
+            })
+            .collect()
+    }
+
+    /// The peak-bracketing grid's log-integrand maximum for one cell — the
+    /// stable-exponentiation shift every evaluation path (scalar and batched)
+    /// normalises by before exponentiating.
+    ///
+    /// Exposed as a diagnostic so equivalence suites can reason about the
+    /// *shifted* mass `exp(log_z - peak)`: when that mass lands in subnormal
+    /// territory the last-digit noise of any `log_z` is unbounded (subnormals
+    /// are quantised to multiples of ~4.9e-324), so comparisons between
+    /// independently accumulated paths must happen in the shifted exp domain,
+    /// not the log domain.
+    pub fn log_integrand_peak(&self, sigma: f64, mu: f64, c: f64, x: f64) -> f64 {
+        let sigma = sigma.max(SIGMA_FLOOR);
+        let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        self.log_max(sigma, sigma.ln(), half_ln_2pi, mu, c, x)
+    }
+
+    /// `log_max` over the peak-bracketing grid — the scalar path's coarse scan
+    /// for stable exponentiation, folded in the scalar grid order.
+    fn log_max(&self, sigma: f64, ln_sigma: f64, half_ln_2pi: f64, mu: f64, c: f64, x: f64) -> f64 {
+        let mut log_max = f64::NEG_INFINITY;
+        for ((hc, lh), l1h) in self.grid_hc.iter().zip(&self.grid_lh).zip(&self.grid_l1h) {
+            let z = (hc - mu) / sigma;
+            log_max = log_max.max(c * lh + x * l1h - 0.5 * z * z - ln_sigma - half_ln_2pi);
+        }
+        log_max
+    }
+
+    /// Pass 1 of the per-worker sweep: the shifted log-integrand value at every
+    /// node into `scratch` — a branch-free mul/add loop over contiguous tables
+    /// that the autovectoriser widens to f64 lanes.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_shifted_log_integrand(
+        &self,
+        sigma: f64,
+        ln_sigma: f64,
+        half_ln_2pi: f64,
+        mu: f64,
+        c: f64,
+        x: f64,
+        log_max: f64,
+        scratch: &mut [f64],
+    ) {
+        for (((t, hc), lh), l1h) in scratch
+            .iter_mut()
+            .zip(&self.node_hc)
+            .zip(&self.node_lh)
+            .zip(&self.node_l1h)
+        {
+            let z = (hc - mu) / sigma;
+            *t = c * lh + x * l1h - 0.5 * z * z - ln_sigma - half_ln_2pi - log_max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial_normal::{
+        binomial_normal_log_z, binomial_normal_log_z_gradients, binomial_normal_moments,
+    };
+
+    const CELLS: [(f64, f64, f64, f64); 8] = [
+        (0.5, 0.15, 7.0, 3.0),
+        (0.8, 0.05, 0.0, 0.0),
+        (0.2, 0.3, 140.0, 2.0),
+        (-0.5, 0.1, 5.0, 5.0),
+        (0.99, 0.05, 100_000.0, 0.0),
+        (0.01, 0.05, 0.0, 100_000.0),
+        (0.5, 0.15, 500_000.0, 500_000.0),
+        (0.7, 0.0, 4.0, 1.0), // sigma below the floor
+    ];
+
+    #[test]
+    fn batched_moments_bit_identical_to_scalar() {
+        for order in [2usize, 16, 32, 64] {
+            let quadrature = GaussLegendre::new(order);
+            let batch = BinomialNormalBatch::new(&quadrature);
+            for sigma in [0.0, 0.02, 0.12, 0.3] {
+                let mu: Vec<f64> = CELLS.iter().map(|c| c.0).collect();
+                let c: Vec<f64> = CELLS.iter().map(|c| c.2).collect();
+                let x: Vec<f64> = CELLS.iter().map(|c| c.3).collect();
+                let mut log_z = vec![0.0; mu.len()];
+                let mut mean = vec![0.0; mu.len()];
+                batch.moments(sigma, &mu, &c, &x, &mut log_z, &mut mean);
+                let mut log_z_only = vec![0.0; mu.len()];
+                batch.log_z(sigma, &mu, &c, &x, &mut log_z_only);
+                for i in 0..mu.len() {
+                    let (slz, sm) = binomial_normal_moments(&quadrature, mu[i], sigma, c[i], x[i]);
+                    assert_eq!(log_z[i], slz, "order {order} sigma {sigma} cell {i}");
+                    assert_eq!(mean[i], sm, "order {order} sigma {sigma} cell {i}");
+                    assert_eq!(log_z_only[i], slz, "order {order} sigma {sigma} cell {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradients_bit_identical_to_free_function() {
+        let quadrature = GaussLegendre::new(32);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        let obs: Vec<(f64, f64, f64)> = CELLS.iter().map(|&(mu, _, c, x)| (mu, c, x)).collect();
+        for sigma in [0.02, 0.12, 0.3] {
+            let got = batch.log_z_gradients(sigma, &obs);
+            let want = binomial_normal_log_z_gradients(&quadrature, sigma, &obs);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn underflow_fallbacks_match_scalar() {
+        let quadrature = GaussLegendre::new(32);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        // Counts so large that the integrand's mass lies entirely between
+        // quadrature nodes: the normaliser underflows to zero.
+        let (mu, sigma, c, x) = (0.5, 0.15, 500_000.0, 500_000.0);
+        let mut log_z = [0.0];
+        let mut mean = [0.0];
+        batch.moments(sigma, &[mu], &[c], &[x], &mut log_z, &mut mean);
+        let (slz, sm) = binomial_normal_moments(&quadrature, mu, sigma, c, x);
+        assert_eq!(log_z[0], slz);
+        assert_eq!(mean[0], sm);
+        assert_eq!(mean[0], 0.5); // mu.clamp(0, 1)
+        assert_eq!(log_z[0], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn counters_tick_per_call_not_per_worker() {
+        let quadrature = GaussLegendre::new(16);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        reset_batched_quadrature_sweeps();
+        reset_scalar_quadrature_evaluations();
+        let mu = [0.5; 100];
+        let c = [3.0; 100];
+        let x = [2.0; 100];
+        let mut log_z = [0.0; 100];
+        let mut mean = [0.0; 100];
+        batch.log_z(0.1, &mu, &c, &x, &mut log_z);
+        batch.moments(0.1, &mu, &c, &x, &mut log_z, &mut mean);
+        batch.log_z_gradients(0.1, &[(0.5, 3.0, 2.0)]);
+        assert_eq!(batched_quadrature_sweeps(), 3);
+        assert_eq!(scalar_quadrature_evaluations(), 0);
+        binomial_normal_moments(&quadrature, 0.5, 0.1, 3.0, 2.0);
+        binomial_normal_log_z(&quadrature, 0.5, 0.1, 3.0, 2.0);
+        assert_eq!(scalar_quadrature_evaluations(), 2);
+        assert_eq!(batched_quadrature_sweeps(), 3);
+        reset_batched_quadrature_sweeps();
+        reset_scalar_quadrature_evaluations();
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let quadrature = GaussLegendre::new(8);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        let mut out = [0.0; 2];
+        batch.log_z(0.1, &[0.5], &[1.0], &[1.0], &mut out);
+    }
+}

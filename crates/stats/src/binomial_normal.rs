@@ -35,7 +35,7 @@ use crate::integrate::GaussLegendre;
 
 /// Floor applied to the conditional standard deviation before integrating, so a
 /// degenerate conditional cannot produce a zero-width integrand.
-const SIGMA_FLOOR: f64 = 1e-6;
+pub(crate) const SIGMA_FLOOR: f64 = 1e-6;
 
 /// Near-endpoint points added to the peak-bracketing grid.
 ///
@@ -61,7 +61,7 @@ const EDGE_BRACKET_POINTS: [f64; 10] = [
 
 /// The peak-bracketing grid: the historical 41-point interior grid followed by
 /// the near-endpoint points of [`EDGE_BRACKET_POINTS`].
-fn bracketing_points() -> impl Iterator<Item = f64> {
+pub(crate) fn bracketing_points() -> impl Iterator<Item = f64> {
     (0..=40)
         .map(|i| 0.0125 + 0.975 * (i as f64 / 40.0))
         .chain(EDGE_BRACKET_POINTS)
@@ -73,8 +73,11 @@ fn bracketing_points() -> impl Iterator<Item = f64> {
 /// large answer counts cannot underflow.
 ///
 /// This is the shared integrand of Eq. 5 (likelihood, via `log Z`) and Eq. 8
-/// (prediction, via `E[h]`); the CPE kernel evaluates it once per observation
-/// per model.
+/// (prediction, via `E[h]`). The CPE hot paths no longer call it per worker —
+/// they sweep whole mask groups through the structure-of-arrays tables of
+/// [`BinomialNormalBatch`](crate::BinomialNormalBatch) — but this scalar form
+/// remains the pinned cross-check oracle: the batched results are bit-identical
+/// to it, enforced by the equivalence and property suites.
 pub fn binomial_normal_moments(
     quadrature: &GaussLegendre,
     mu: f64,
@@ -107,6 +110,7 @@ fn moments_impl(
     x: f64,
     want_mean: bool,
 ) -> (f64, f64) {
+    crate::batch::record_scalar_evaluation();
     let sigma = sigma.max(SIGMA_FLOOR);
     let log_integrand = |h: f64| {
         let h = h.clamp(1e-12, 1.0 - 1e-12);
@@ -192,66 +196,11 @@ pub fn binomial_normal_log_z_gradients(
     sigma: f64,
     observations: &[(f64, f64, f64)],
 ) -> Vec<LogZGradient> {
-    let sigma = sigma.max(SIGMA_FLOOR);
-    let variance = sigma * sigma;
-    let norm_const = sigma.ln() + 0.5 * (2.0 * std::f64::consts::PI).ln();
-
-    // Shared per-node tables: the clamp and the two logarithms depend only on
-    // the node, never on the observation.
-    let tabulate = |h: f64| {
-        let hc = h.clamp(1e-12, 1.0 - 1e-12);
-        (hc, hc.ln(), (1.0 - hc).ln())
-    };
-    let nodes: Vec<(f64, f64, f64, f64)> = quadrature
-        .points(0.0, 1.0)
-        .map(|(h, w)| {
-            let (hc, lh, l1h) = tabulate(h);
-            (hc, w, lh, l1h)
-        })
-        .collect();
-    let grid: Vec<(f64, f64, f64)> = bracketing_points().map(tabulate).collect();
-
-    observations
-        .iter()
-        .map(|&(mu, c, x)| {
-            let log_at = |h: f64, lh: f64, l1h: f64| {
-                let z = (h - mu) / sigma;
-                c * lh + x * l1h - 0.5 * z * z - norm_const
-            };
-            let mut log_max = f64::NEG_INFINITY;
-            for &(h, lh, l1h) in &grid {
-                log_max = log_max.max(log_at(h, lh, l1h));
-            }
-            if !log_max.is_finite() {
-                return LogZGradient {
-                    log_z: f64::NEG_INFINITY,
-                    d_mean: 0.0,
-                    d_variance: 0.0,
-                };
-            }
-            // One fused sweep for the three moments Z, E[h - mu], E[(h - mu)^2].
-            let (mut z0, mut z1, mut z2) = (0.0, 0.0, 0.0);
-            for &(h, w, lh, l1h) in &nodes {
-                let e = w * (log_at(h, lh, l1h) - log_max).exp();
-                let d = h - mu;
-                z0 += e;
-                z1 += d * e;
-                z2 += d * d * e;
-            }
-            if z0 <= 0.0 || !z0.is_finite() {
-                return LogZGradient {
-                    log_z: f64::NEG_INFINITY,
-                    d_mean: 0.0,
-                    d_variance: 0.0,
-                };
-            }
-            LogZGradient {
-                log_z: z0.ln() + log_max,
-                d_mean: (z1 / z0) / variance,
-                d_variance: (z2 / z0 - variance) / (2.0 * variance * variance),
-            }
-        })
-        .collect()
+    // The SoA tables this builds are exactly the shared per-node tables the
+    // historical inline sweep tabulated per call; the batch method preserves
+    // the accumulation operation for operation, so this delegation is
+    // bit-identical to the pre-batch implementation.
+    crate::batch::BinomialNormalBatch::new(quadrature).log_z_gradients(sigma, observations)
 }
 
 #[cfg(test)]

@@ -7,6 +7,27 @@
 //! cross-check used by the tests and available for callers who prefer an error
 //! tolerance to a fixed order.
 
+/// Iteration cap for the Newton refinement of the Legendre roots. Convergence
+/// is quadratic from the Chebyshev initial guess, so real rules converge in a
+/// handful of iterations; the cap only bounds pathological non-termination.
+const MAX_NEWTON_ITERATIONS: usize = 100;
+
+/// Newton-step magnitude below which a root is accepted (about 5 ulps at the
+/// largest root magnitudes, |x| < 1).
+const NEWTON_TOLERANCE: f64 = 1e-15;
+
+/// Evaluates `(P_n(x), P_{n-1}(x))` by the three-term recurrence.
+fn legendre_pair(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = 0.0;
+    for j in 0..n {
+        let p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+    }
+    (p0, p1)
+}
+
 /// Nodes and weights of an `n`-point Gauss–Legendre rule on `[-1, 1]`.
 #[derive(Debug, Clone)]
 pub struct GaussLegendre {
@@ -18,7 +39,10 @@ impl GaussLegendre {
     /// Builds an `n`-point rule by Newton iteration on the Legendre polynomial roots.
     ///
     /// `n` is clamped to at least 2. Rules up to a few hundred points are cheap to
-    /// build; the CPE path caches one rule and reuses it for every worker.
+    /// build; the CPE path caches one rule and reuses it for every worker. Every
+    /// root is iterated to convergence (step below `NEWTON_TOLERANCE`, 1e-15); in
+    /// debug builds an unconverged root or an out-of-tolerance residual is a
+    /// `debug_assert!` failure rather than a silently inaccurate rule.
     pub fn new(n: usize) -> Self {
         let n = n.max(2);
         let mut nodes = vec![0.0; n];
@@ -28,23 +52,32 @@ impl GaussLegendre {
             // Initial guess: Chebyshev-like approximation of the i-th root.
             let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
             let mut dp = 0.0;
-            // Newton iterations.
-            for _ in 0..100 {
-                // Evaluate P_n(x) and P_{n-1}(x) by the three-term recurrence.
-                let mut p0 = 1.0;
-                let mut p1 = 0.0;
-                for j in 0..n {
-                    let p2 = p1;
-                    p1 = p0;
-                    p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
-                }
+            let mut converged = false;
+            for _ in 0..MAX_NEWTON_ITERATIONS {
+                let (p0, p1) = legendre_pair(n, x);
                 // Derivative via the standard identity.
                 dp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
                 let dx = p0 / dp;
                 x -= dx;
-                if dx.abs() < 1e-15 {
+                if dx.abs() < NEWTON_TOLERANCE {
+                    converged = true;
                     break;
                 }
+            }
+            debug_assert!(
+                converged,
+                "Gauss-Legendre Newton iteration did not converge for order {n}, root {i}"
+            );
+            #[cfg(debug_assertions)]
+            {
+                // Residual check at the accepted root: the next Newton step must
+                // be at tolerance scale, otherwise the rule is unconverged.
+                let (residual, _) = legendre_pair(n, x);
+                let step = residual / dp;
+                debug_assert!(
+                    step.abs() < 1e-12,
+                    "Gauss-Legendre root {i} of order {n} has residual Newton step {step:e}"
+                );
             }
             nodes[i] = -x;
             nodes[n - 1 - i] = x;
@@ -75,6 +108,17 @@ impl GaussLegendre {
             .iter()
             .zip(self.weights.iter())
             .map(move |(&x, &w)| (mid + half * x, w * half))
+    }
+
+    /// The rule's raw nodes and weights on the canonical interval `[-1, 1]`,
+    /// in node order.
+    ///
+    /// [`GaussLegendre::integrate`] folds the interval half-width into the
+    /// *final sum* rather than into the weights, so a caller replicating its
+    /// arithmetic bit for bit (the batched binomial×normal kernel) needs the
+    /// raw weights; [`GaussLegendre::points`] only exposes the folded form.
+    pub fn raw_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.nodes.iter().copied().zip(self.weights.iter().copied())
     }
 
     /// Integrates `f` over `[a, b]`.

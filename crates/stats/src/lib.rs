@@ -20,7 +20,10 @@
 //! * quadrature: [`GaussLegendre`], [`adaptive_simpson`], [`trapezoid`];
 //! * the binomial×normal integrals of the CPE likelihood and their closed-form
 //!   conditional-mean/variance derivatives: [`binomial_normal_moments`],
-//!   [`binomial_normal_log_z`], [`binomial_normal_log_z_gradients`];
+//!   [`binomial_normal_log_z`], [`binomial_normal_log_z_gradients`], plus the
+//!   batched structure-of-arrays sweep over shared node tables
+//!   ([`BinomialNormalBatch`]) that the CPE hot paths use, bit-identical to
+//!   the scalar forms;
 //! * descriptive statistics: [`mean`], [`std_dev`], [`quantile`],
 //!   [`pearson_correlation`], [`Histogram`], [`Summary`];
 //! * covariance utilities: [`sample_covariance`], [`covariance_to_correlation`],
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod binomial_normal;
 mod covariance;
 mod descriptive;
@@ -56,6 +60,10 @@ mod mvn;
 mod special;
 mod univariate;
 
+pub use batch::{
+    batched_quadrature_sweeps, reset_batched_quadrature_sweeps,
+    reset_scalar_quadrature_evaluations, scalar_quadrature_evaluations, BinomialNormalBatch,
+};
 pub use binomial_normal::{
     binomial_normal_log_z, binomial_normal_log_z_gradients, binomial_normal_moments, LogZGradient,
 };
