@@ -1,10 +1,12 @@
 //! Roofline-style micro-benchmark of the batched SoA quadrature kernel.
 //!
 //! Sweeps mask-group sizes (`workers`) against Gauss–Legendre orders
-//! (`nodes`) and, for every cell, times one batched
+//! (`nodes`) and fold-pass math modes and, for every cell, times one batched
 //! [`BinomialNormalBatch::moments`] sweep against the equivalent per-worker
 //! scalar [`binomial_normal_moments`] loop — the exact pair of paths the CPE
-//! hot paths switched between. Reported per cell:
+//! hot paths switched between. The scalar loop is timed **once** per
+//! `(nodes, workers)` point and shared by both math modes, so the speedup
+//! columns stay comparable. Reported per cell:
 //!
 //! * median wall-clock of each path (self-timed; medians are robust to the
 //!   1-core container's scheduling noise),
@@ -15,8 +17,9 @@
 //! * the **speedup** over the scalar loop (the scalar path re-derives every
 //!   per-node logarithm per worker; the batched sweep streams shared tables).
 //!
-//! Every cell first asserts the two paths agree **bit for bit** before any
-//! timing, so the numbers can never describe drifted arithmetic.
+//! Correctness gates before any timing: the `exact` sweep must agree with the
+//! scalar oracle **bit for bit**, and the `fast_vector` sweep must track the
+//! exact sweep within its documented ~1e-12 relative contract on this group.
 //!
 //! ```bash
 //! cargo bench -p c4u-bench --bench quadrature
@@ -25,18 +28,27 @@
 //! Environment knobs (all optional):
 //!
 //! * `C4U_QUAD_WORKERS` — comma-separated group sizes (default
-//!   `1000,10000,100000`);
+//!   `1000,10000,100000,1000000`);
 //! * `C4U_QUAD_NODES` — comma-separated quadrature orders (default
 //!   `16,32,64`);
 //! * `C4U_QUAD_SAMPLES` — timing samples per cell (default 7; the median is
 //!   reported);
+//! * `C4U_QUAD_MATH` — `exact`, `fast_vector`, or `both` (default both);
 //! * `C4U_QUAD_REPORT` — trajectory-file path (default
-//!   `BENCH_quadrature.json` at the workspace root; empty disables writing).
+//!   `BENCH_quadrature.json` at the workspace root; empty disables writing);
+//! * `C4U_BENCH_GATE` — set to `1` to fail (exit non-zero) when any cell
+//!   regresses more than 25% in ns per worker-node against the newest run of
+//!   the committed trajectory (`C4U_QUAD_BASELINE` overrides the baseline
+//!   file). The baseline is loaded **before** this run is appended.
 
 use c4u_bench::{
-    append_quadrature_run, quadrature_report_path, render_quadrature_run, QuadratureCell,
+    append_quadrature_run, bench_gate_enabled, gate_quadrature_cells, latest_quadrature_baseline,
+    math_tag, quad_math_modes, quadrature_baseline_path, quadrature_report_path,
+    render_quadrature_run, QuadratureCell,
 };
-use c4u_stats::{binomial_normal_moments, BinomialNormalBatch, GaussLegendre};
+use c4u_stats::{
+    binomial_normal_moments, BinomialNormalBatch, GaussLegendre, QuadratureMath, QuadratureScratch,
+};
 use std::time::Instant;
 
 /// Parses a comma-separated `usize` list from the environment.
@@ -83,43 +95,59 @@ fn median_ns(samples: &mut [f64]) -> f64 {
 const SIGMA: f64 = 0.12;
 
 fn main() {
-    let workers_sweep = env_list("C4U_QUAD_WORKERS", &[1_000, 10_000, 100_000]);
+    let workers_sweep = env_list("C4U_QUAD_WORKERS", &[1_000, 10_000, 100_000, 1_000_000]);
     let nodes_sweep = env_list("C4U_QUAD_NODES", &[16, 32, 64]);
     let samples = env_usize("C4U_QUAD_SAMPLES", 7);
+    let maths = quad_math_modes();
+
+    // Baseline first: when the gate is armed, the comparison target is the
+    // newest run already on file — before this run is appended to it.
+    let gate = bench_gate_enabled();
+    let baseline = if gate {
+        let path = quadrature_baseline_path();
+        let loaded = latest_quadrature_baseline(&path);
+        if loaded.is_none() {
+            println!(
+                "gate armed but no baseline run at {} — skipping",
+                path.display()
+            );
+        }
+        loaded
+    } else {
+        None
+    };
 
     println!("Batched SoA quadrature sweep vs per-worker scalar loop");
     println!("(sigma = {SIGMA}, {samples} samples per cell, medians reported)\n");
     println!(
-        "  {:>8} {:>6} {:>14} {:>14} {:>12} {:>10} {:>8}",
-        "workers", "nodes", "batched ns", "scalar ns", "ns/(w*n)", "eff GB/s", "speedup"
+        "  {:>8} {:>6} {:>12} {:>14} {:>14} {:>12} {:>10} {:>8}",
+        "workers", "nodes", "math", "batched ns", "scalar ns", "ns/(w*n)", "eff GB/s", "speedup"
     );
 
     let mut cells = Vec::new();
     for &nodes in &nodes_sweep {
         let quadrature = GaussLegendre::new(nodes);
-        let batch = BinomialNormalBatch::new(&quadrature);
+        let exact = BinomialNormalBatch::new(&quadrature);
         for &workers in &workers_sweep {
             let (mu, c, x) = make_group(workers);
             let mut log_z = vec![0.0; workers];
             let mut mean = vec![0.0; workers];
+            let mut scratch = QuadratureScratch::new();
 
-            // Correctness gate before any timing: the batched sweep must be
-            // bit-identical to the scalar oracle on this exact group.
-            batch.moments(SIGMA, &mu, &c, &x, &mut log_z, &mut mean);
+            // Correctness gate before any timing: the exact batched sweep
+            // must be bit-identical to the scalar oracle on this group.
+            exact.moments_with_scratch(SIGMA, &mu, &c, &x, &mut log_z, &mut mean, &mut scratch);
             for w in 0..workers {
                 let (scalar_log_z, scalar_mean) =
                     binomial_normal_moments(&quadrature, mu[w], SIGMA, c[w], x[w]);
                 assert_eq!(log_z[w], scalar_log_z, "log Z drift at worker {w}");
                 assert_eq!(mean[w], scalar_mean, "posterior-mean drift at worker {w}");
             }
+            let exact_log_z = log_z.clone();
+            let exact_mean = mean.clone();
 
-            let mut batched_ns = Vec::with_capacity(samples);
-            for _ in 0..samples {
-                let start = Instant::now();
-                batch.moments(SIGMA, &mu, &c, &x, &mut log_z, &mut mean);
-                batched_ns.push(start.elapsed().as_nanos() as f64);
-            }
-
+            // The scalar loop is math-independent: time it once per
+            // (nodes, workers) point and share the median across modes.
             let mut scalar_ns = Vec::with_capacity(samples);
             for _ in 0..samples {
                 let start = Instant::now();
@@ -130,24 +158,67 @@ fn main() {
                 }
                 scalar_ns.push(start.elapsed().as_nanos() as f64);
             }
+            let scalar_median_ns = median_ns(&mut scalar_ns);
 
-            let cell = QuadratureCell {
-                workers,
-                nodes,
-                batched_median_ns: median_ns(&mut batched_ns),
-                scalar_median_ns: median_ns(&mut scalar_ns),
-            };
-            println!(
-                "  {:>8} {:>6} {:>14.0} {:>14.0} {:>12.2} {:>10.2} {:>7.1}x",
-                cell.workers,
-                cell.nodes,
-                cell.batched_median_ns,
-                cell.scalar_median_ns,
-                cell.ns_per_worker_node(),
-                cell.effective_gb_per_s(),
-                cell.speedup()
-            );
-            cells.push(cell);
+            for &math in &maths {
+                let batch = BinomialNormalBatch::new_with_math(&quadrature, math);
+                batch.moments_with_scratch(SIGMA, &mu, &c, &x, &mut log_z, &mut mean, &mut scratch);
+                if math == QuadratureMath::Exact {
+                    // Already gated bitwise above; this sweep just re-warms.
+                } else {
+                    // FastVector correctness gate: within the documented
+                    // ~1e-12 relative contract of the Exact path (these cells
+                    // are all well-scaled — bounded counts, interior means).
+                    for w in 0..workers {
+                        let tol = 1e-11 * (1.0 + exact_log_z[w].abs());
+                        assert!(
+                            (log_z[w] - exact_log_z[w]).abs() <= tol,
+                            "log Z drift beyond contract at worker {w}: {} vs {}",
+                            log_z[w],
+                            exact_log_z[w]
+                        );
+                        assert!(
+                            (mean[w] - exact_mean[w]).abs() <= 1e-11,
+                            "posterior-mean drift beyond contract at worker {w}"
+                        );
+                    }
+                }
+
+                let mut batched_ns = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    batch.moments_with_scratch(
+                        SIGMA,
+                        &mu,
+                        &c,
+                        &x,
+                        &mut log_z,
+                        &mut mean,
+                        &mut scratch,
+                    );
+                    batched_ns.push(start.elapsed().as_nanos() as f64);
+                }
+
+                let cell = QuadratureCell {
+                    workers,
+                    nodes,
+                    math,
+                    batched_median_ns: median_ns(&mut batched_ns),
+                    scalar_median_ns,
+                };
+                println!(
+                    "  {:>8} {:>6} {:>12} {:>14.0} {:>14.0} {:>12.2} {:>10.2} {:>7.1}x",
+                    cell.workers,
+                    cell.nodes,
+                    math_tag(cell.math),
+                    cell.batched_median_ns,
+                    cell.scalar_median_ns,
+                    cell.ns_per_worker_node(),
+                    cell.effective_gb_per_s(),
+                    cell.speedup()
+                );
+                cells.push(cell);
+            }
         }
     }
 
@@ -160,5 +231,21 @@ fn main() {
             }
         }
         None => println!("\nreport writing disabled (C4U_QUAD_REPORT is empty)"),
+    }
+
+    if let Some(baseline) = baseline {
+        let violations = gate_quadrature_cells(&baseline, &cells);
+        if violations.is_empty() {
+            println!("gate: all matching cells within the regression limit");
+        } else {
+            eprintln!(
+                "gate: {} cell(s) regressed beyond the limit:",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

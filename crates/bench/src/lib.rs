@@ -22,7 +22,15 @@
 //!   ([`evaluate_cells_resumable`]; unset disables persistence);
 //! * `C4U_QUAD_WORKERS` / `C4U_QUAD_NODES` / `C4U_QUAD_SAMPLES` /
 //!   `C4U_QUAD_REPORT` — the `quadrature` roofline bench's sweep cells,
-//!   sample count, and trajectory-file path (see the [`report`] module).
+//!   sample count, and trajectory-file path (see the [`report`] module);
+//! * `C4U_QUAD_MATH` — the quadrature fold-pass math mode: `exact` (the
+//!   bit-identical default for the table/figure benches), `fast_vector` (the
+//!   lane-chunked polynomial `exp`), or `both` (the `quadrature` roofline
+//!   bench's default, timing the two modes side by side);
+//! * `C4U_BENCH_GATE` — set to `1` to make the `quadrature` bench fail on any
+//!   cell regressing more than [`GATE_REGRESSION_LIMIT`] in ns per
+//!   worker-node against the newest committed trajectory run
+//!   (`C4U_QUAD_BASELINE` overrides the baseline file).
 //!
 //! Dataset generation is memoised process-wide ([`cached_generate`]): sweep
 //! cells sharing a configuration share one generated dataset, so a table that
@@ -41,13 +49,16 @@ pub mod report;
 
 pub use cache::{cell_cache_dir, SweepStats, CELL_CACHE_ENV};
 pub use report::{
-    append_quadrature_run, quadrature_report_path, render_quadrature_run, QuadratureCell,
+    append_quadrature_run, bench_gate_enabled, gate_quadrature_cells, latest_quadrature_baseline,
+    math_tag, parse_quadrature_run, quadrature_baseline_path, quadrature_report_path,
+    render_quadrature_run, QuadratureCell, BENCH_GATE_ENV, GATE_REGRESSION_LIMIT,
+    QUADRATURE_BASELINE_ENV,
 };
 
 use c4u_crowd_sim::{generate, Dataset, DatasetConfig, SimError};
 use c4u_selection::{
     evaluate_strategy_with_k, CrossDomainSelector, EstimationMode, GroundTruthOracle, LiEtAl,
-    MedianEliminationBaseline, SelectorConfig, UniformSampling, WorkerSelector,
+    MedianEliminationBaseline, QuadratureMath, SelectorConfig, UniformSampling, WorkerSelector,
 };
 use std::collections::HashMap;
 use std::convert::Infallible;
@@ -88,6 +99,30 @@ pub fn num_shards() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&v| v > 0)
         .unwrap_or(1)
+}
+
+/// Reads `C4U_QUAD_MATH` as a single fold-pass mode for the table/figure
+/// benches (default [`QuadratureMath::Exact`], keeping every reported number
+/// bit-identical to the scalar oracle unless explicitly opted out).
+/// `fast_vector` selects the lane-chunked polynomial-`exp` fold; anything
+/// else — including `both`, which only the roofline bench distinguishes —
+/// stays `Exact`.
+pub fn quad_math() -> QuadratureMath {
+    match std::env::var("C4U_QUAD_MATH").as_deref() {
+        Ok("fast_vector") => QuadratureMath::FastVector,
+        _ => QuadratureMath::Exact,
+    }
+}
+
+/// Reads `C4U_QUAD_MATH` as the list of modes the `quadrature` roofline bench
+/// sweeps: `exact` or `fast_vector` narrow it to one mode, everything else
+/// (including the default) times `both` side by side.
+pub fn quad_math_modes() -> Vec<QuadratureMath> {
+    match std::env::var("C4U_QUAD_MATH").as_deref() {
+        Ok("exact") => vec![QuadratureMath::Exact],
+        Ok("fast_vector") => vec![QuadratureMath::FastVector],
+        _ => vec![QuadratureMath::Exact, QuadratureMath::FastVector],
+    }
 }
 
 /// The answering-noise seeds used for a given number of trials.
@@ -171,6 +206,7 @@ impl StrategyKind {
         let mut config = SelectorConfig::default();
         config.cpe.epochs = epochs;
         config.cpe.initial_target_accuracy = initial_target_accuracy;
+        config.cpe.quadrature_math = quad_math();
         config.num_shards = num_shards();
         match self {
             StrategyKind::UniformSampling => Box::new(UniformSampling::new()),
@@ -451,6 +487,15 @@ mod tests {
         assert!(num_shards() >= 1);
         assert_eq!(trial_seeds(3).len(), 3);
         assert_ne!(trial_seeds(2)[0], trial_seeds(2)[1]);
+        if std::env::var("C4U_QUAD_MATH").is_err() {
+            // Table/figure benches default to the bit-identical mode; the
+            // roofline bench times both.
+            assert_eq!(quad_math(), QuadratureMath::Exact);
+            assert_eq!(
+                quad_math_modes(),
+                vec![QuadratureMath::Exact, QuadratureMath::FastVector]
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ use c4u_linalg::{Matrix, Vector};
 use c4u_optim::{FiniteDifference, GradientOracle};
 use c4u_stats::{
     mean as stat_mean, nearest_positive_definite, std_dev, GaussLegendre, MultivariateNormal,
-    Uniform,
+    QuadratureMath, Uniform,
 };
 use kernel::gradient::AnalyticCpeOracle;
 use kernel::CpeLikelihoodKernel;
@@ -106,6 +106,12 @@ pub struct CpeConfig {
     pub correlation_seed: u64,
     /// Gradient oracle driving the Eq. 6–7 update (see [`CpeGradient`]).
     pub gradient_oracle: CpeGradient,
+    /// Fold-pass arithmetic of the batched quadrature sweeps
+    /// ([`c4u_stats::QuadratureMath`]). The default `Exact` mode is
+    /// bit-identical to the scalar oracle; `FastVector` swaps the fold onto
+    /// the lane-chunked polynomial `exp` (deterministic, ~1e-12 relative of
+    /// `Exact` per cell) for throughput.
+    pub quadrature_math: QuadratureMath,
 }
 
 impl Default for CpeConfig {
@@ -120,6 +126,7 @@ impl Default for CpeConfig {
             use_posterior_prediction: true,
             correlation_seed: 21,
             gradient_oracle: CpeGradient::default(),
+            quadrature_math: QuadratureMath::default(),
         }
     }
 }
@@ -309,8 +316,12 @@ impl CrossDomainEstimator {
     /// Marginal log-likelihood of a set of observations under the current model
     /// (Eq. 5), evaluated through the batched mask-grouped kernel.
     pub fn log_likelihood(&self, observations: &[CpeObservation]) -> Result<f64, SelectionError> {
-        let kernel =
-            CpeLikelihoodKernel::new(observations, self.num_prior_domains, &self.quadrature);
+        let kernel = CpeLikelihoodKernel::new_with_math(
+            observations,
+            self.num_prior_domains,
+            &self.quadrature,
+            self.config.quadrature_math,
+        );
         kernel.log_likelihood(&self.model()?)
     }
 
@@ -330,8 +341,15 @@ impl CrossDomainEstimator {
         let n_mean = d + 1;
         let n_cov = (d + 1) * (d + 2) / 2;
         // Field-level borrow: the epoch loop below mutates `mean`/`covariance`,
-        // which are disjoint from the quadrature the kernel holds.
-        let kernel = CpeLikelihoodKernel::new(observations, d, &self.quadrature);
+        // which are disjoint from the quadrature the kernel holds. One kernel
+        // serves every epoch, so its scratch buffers are grown once and reused
+        // by all `epochs x unique_masks` sweeps.
+        let kernel = CpeLikelihoodKernel::new_with_math(
+            observations,
+            d,
+            &self.quadrature,
+            self.config.quadrature_math,
+        );
 
         for _ in 0..self.config.epochs {
             // Pack the current parameters.
@@ -409,8 +427,12 @@ impl CrossDomainEstimator {
         &self,
         observations: &[CpeObservation],
     ) -> Result<Vec<f64>, SelectionError> {
-        let kernel =
-            CpeLikelihoodKernel::new(observations, self.num_prior_domains, &self.quadrature);
+        let kernel = CpeLikelihoodKernel::new_with_math(
+            observations,
+            self.num_prior_domains,
+            &self.quadrature,
+            self.config.quadrature_math,
+        );
         kernel.predict(&self.model()?, self.config.use_posterior_prediction)
     }
 
@@ -441,10 +463,11 @@ impl CrossDomainEstimator {
         let model = self.model()?;
         let num_shards = shards.num_shards();
         let per_shard: Vec<Vec<f64>> = run_indexed_jobs(num_shards, num_shards, |shard| {
-            let kernel = CpeLikelihoodKernel::new(
+            let kernel = CpeLikelihoodKernel::new_with_math(
                 &observations[shards.range(shard)],
                 self.num_prior_domains,
                 &self.quadrature,
+                self.config.quadrature_math,
             );
             kernel.predict(&model, self.config.use_posterior_prediction)
         })?;

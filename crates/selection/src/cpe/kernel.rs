@@ -75,7 +75,12 @@ pub mod gradient;
 
 use super::CpeObservation;
 use crate::SelectionError;
-use c4u_stats::{BinomialNormalBatch, Conditioner, GaussLegendre, MultivariateNormal};
+use c4u_linalg::Vector;
+use c4u_stats::{
+    BinomialNormalBatch, Conditioner, GaussLegendre, LogZGradient, MultivariateNormal,
+    QuadratureMath, QuadratureScratch,
+};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// The observations sharing one observed-domain mask.
@@ -175,6 +180,38 @@ pub struct CpeLikelihoodKernel<'a> {
     /// each group's members — the model-independent half of the batched-sweep
     /// inputs, precomputed once per kernel.
     counts: Vec<GroupCounts>,
+    /// Reused per-sweep buffers (conditional means, sweep outputs, quadrature
+    /// node scratch), shared by the likelihood, prediction and gradient paths.
+    /// Behind a `RefCell` because every evaluation entry point takes `&self`;
+    /// this makes the kernel `!Sync`, which matches how it is used — each
+    /// shard/thread builds its own kernel. Buffers grow to the largest group
+    /// once and the hot loops stay allocation-free afterwards (the `c4u-stats`
+    /// `alloc_free` suite pins the sweep side of that contract).
+    scratch: RefCell<KernelScratch>,
+}
+
+/// The reusable buffers of one kernel: grown on first use, then recycled by
+/// every subsequent group sweep and model evaluation.
+#[derive(Debug, Default)]
+struct KernelScratch {
+    /// Node-sized scratch of the batched quadrature sweeps.
+    quad: QuadratureScratch,
+    /// Per-member conditional means of the current group.
+    mu: Vec<f64>,
+    /// Per-member `log Z` sweep output.
+    log_z: Vec<f64>,
+    /// Per-member posterior-mean sweep output (prediction path).
+    mean: Vec<f64>,
+    /// All-zero counts stand-in for posterior-free prediction.
+    zeros: Vec<f64>,
+    /// Per-member `(mu, correct, wrong)` triples (gradient path).
+    obs: Vec<(f64, f64, f64)>,
+    /// Per-member `log Z` gradients (gradient path).
+    grads: Vec<LogZGradient>,
+    /// Per-member observed-block solves `w_i` (gradient path).
+    solves: Vec<Vector>,
+    /// Group-level `Σ_i (∂L/∂m_i) w_i` accumulator (gradient path).
+    dm_w: Vec<f64>,
 }
 
 /// The model-independent per-member answer counts of one mask group, laid out
@@ -187,11 +224,33 @@ struct GroupCounts {
 
 impl<'a> CpeLikelihoodKernel<'a> {
     /// Builds the kernel, grouping the observations by observed-domain mask
-    /// and tabulating the shared quadrature node tables.
+    /// and tabulating the shared quadrature node tables. The fold passes run
+    /// in the default [`QuadratureMath::Exact`] mode — bit-identical to the
+    /// scalar oracle.
     pub fn new(
         observations: &'a [CpeObservation],
         num_prior_domains: usize,
         quadrature: &'a GaussLegendre,
+    ) -> Self {
+        Self::new_with_math(
+            observations,
+            num_prior_domains,
+            quadrature,
+            QuadratureMath::Exact,
+        )
+    }
+
+    /// Builds the kernel with an explicit fold-pass math mode.
+    ///
+    /// [`QuadratureMath::Exact`] keeps every sweep bit-identical to the scalar
+    /// oracle; [`QuadratureMath::FastVector`] runs the lane-chunked polynomial
+    /// `exp` fold (deterministic, within ~1e-12 relative of `Exact` per cell —
+    /// see the `c4u_stats::batch` math-mode contract).
+    pub fn new_with_math(
+        observations: &'a [CpeObservation],
+        num_prior_domains: usize,
+        quadrature: &'a GaussLegendre,
+        math: QuadratureMath,
     ) -> Self {
         let groups = MaskGroups::build(observations, num_prior_domains);
         let counts = groups
@@ -214,8 +273,9 @@ impl<'a> CpeLikelihoodKernel<'a> {
             observations,
             groups,
             target: num_prior_domains,
-            batch: BinomialNormalBatch::new(quadrature),
+            batch: BinomialNormalBatch::new_with_math(quadrature, math),
             counts,
+            scratch: RefCell::new(KernelScratch::default()),
         }
     }
 
@@ -232,18 +292,24 @@ impl<'a> CpeLikelihoodKernel<'a> {
         model: &MultivariateNormal,
     ) -> Result<Vec<f64>, SelectionError> {
         let mut out = vec![0.0; self.observations.len()];
-        let mut mu = Vec::new();
-        let mut log_z = Vec::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
         for (group, counts) in self.groups.groups().iter().zip(&self.counts) {
-            let sigma = self.conditional_means(model, group, &mut mu)?;
-            log_z.clear();
-            log_z.resize(mu.len(), 0.0);
+            let sigma = self.conditional_means(model, group, &mut s.mu)?;
+            s.log_z.clear();
+            s.log_z.resize(s.mu.len(), 0.0);
             // log-Z only: the posterior-mean integral is prediction-side work,
             // and skipping it here halves the quadrature cost of the gradient
             // sweep without touching a bit of `log Z`.
-            self.batch
-                .log_z(sigma, &mu, &counts.correct, &counts.wrong, &mut log_z);
-            for (&position, &lz) in group.members().iter().zip(&log_z) {
+            self.batch.log_z_with_scratch(
+                sigma,
+                &s.mu,
+                &counts.correct,
+                &counts.wrong,
+                &mut s.log_z,
+                &mut s.quad,
+            );
+            for (&position, &lz) in group.members().iter().zip(&s.log_z) {
                 out[position] = lz;
             }
         }
@@ -273,25 +339,32 @@ impl<'a> CpeLikelihoodKernel<'a> {
         use_posterior: bool,
     ) -> Result<Vec<f64>, SelectionError> {
         let mut out = vec![0.0; self.observations.len()];
-        let mut mu = Vec::new();
-        let mut log_z = Vec::new();
-        let mut mean = Vec::new();
-        let mut zeros = Vec::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
         for (group, counts) in self.groups.groups().iter().zip(&self.counts) {
-            let sigma = self.conditional_means(model, group, &mut mu)?;
-            log_z.clear();
-            log_z.resize(mu.len(), 0.0);
-            mean.clear();
-            mean.resize(mu.len(), 0.0);
+            let sigma = self.conditional_means(model, group, &mut s.mu)?;
+            s.log_z.clear();
+            s.log_z.resize(s.mu.len(), 0.0);
+            s.mean.clear();
+            s.mean.resize(s.mu.len(), 0.0);
             let (c, x): (&[f64], &[f64]) = if use_posterior {
                 (&counts.correct, &counts.wrong)
             } else {
-                zeros.clear();
-                zeros.resize(mu.len(), 0.0);
-                (&zeros, &zeros)
+                s.zeros.clear();
+                s.zeros.resize(s.mu.len(), 0.0);
+                (&s.zeros, &s.zeros)
             };
-            self.batch.moments(sigma, &mu, c, x, &mut log_z, &mut mean);
-            for ((&position, &lz), &posterior_mean) in group.members().iter().zip(&log_z).zip(&mean)
+            self.batch.moments_with_scratch(
+                sigma,
+                &s.mu,
+                c,
+                x,
+                &mut s.log_z,
+                &mut s.mean,
+                &mut s.quad,
+            );
+            for ((&position, &lz), &posterior_mean) in
+                group.members().iter().zip(&s.log_z).zip(&s.mean)
             {
                 if !lz.is_finite() || !posterior_mean.is_finite() {
                     return Err(SelectionError::Numerical(

@@ -44,7 +44,7 @@ use crate::cpe::{from_lower_triangle, OBJECTIVE_PENALTY};
 use crate::SelectionError;
 use c4u_linalg::{packed_length, PackedLowerTriangle, Vector};
 use c4u_optim::GradientOracle;
-use c4u_stats::{nearest_positive_definite, Conditioner, MultivariateNormal};
+use c4u_stats::{nearest_positive_definite, Conditioner, LogZGradient, MultivariateNormal};
 use std::cell::RefCell;
 
 /// The Eq. 5 log-likelihood together with its closed-form Eq. 6–7 gradient in
@@ -91,6 +91,8 @@ impl CpeLikelihoodKernel<'_> {
         // Per-observation log Z in original observation order, so the reported
         // likelihood sums exactly like CpeLikelihoodKernel::log_likelihood.
         let mut per_obs_log_z = vec![0.0; self.observations.len()];
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
 
         for group in self.groups.groups() {
             let conditioner: Conditioner = model.conditioner(self.target, group.observed_idx())?;
@@ -98,26 +100,33 @@ impl CpeLikelihoodKernel<'_> {
             let idx = group.observed_idx();
             let alpha = conditioner.weights();
 
-            // Conditional means and observed-block solves for every member.
-            let mut batch: Vec<(f64, f64, f64)> = Vec::with_capacity(group.members().len());
-            let mut solves: Vec<Vector> = Vec::with_capacity(group.members().len());
+            // Conditional means and observed-block solves for every member,
+            // staged into the kernel's reused buffers.
+            s.obs.clear();
+            s.solves.clear();
             for (&position, values) in group.members().iter().zip(group.values()) {
                 let (cond, w) = conditioner.condition_full(values)?;
                 let obs = &self.observations[position];
-                batch.push((cond.mean, obs.correct as f64, obs.wrong as f64));
-                solves.push(w);
+                s.obs
+                    .push((cond.mean, obs.correct as f64, obs.wrong as f64));
+                s.solves.push(w);
             }
 
             // One vectorised sweep: log Z, ∂/∂m, ∂/∂v for the whole group,
             // over the kernel's shared SoA node tables (built once per kernel,
-            // not once per group per evaluation).
-            let grads = self.batch.log_z_gradients(sigma, &batch);
+            // not once per group per evaluation) and into the reused gradient
+            // buffer — the sweep itself allocates nothing.
+            s.grads.clear();
+            s.grads.resize(s.obs.len(), LogZGradient::default());
+            self.batch
+                .log_z_gradients_into(sigma, &s.obs, &mut s.grads, &mut s.quad);
 
             // Group-level sufficient statistics of the backpropagation.
             let mut sum_d_mean = 0.0;
             let mut sum_d_var = 0.0;
-            let mut sum_dm_w = vec![0.0; idx.len()];
-            for ((&position, grad), w) in group.members().iter().zip(&grads).zip(&solves) {
+            s.dm_w.clear();
+            s.dm_w.resize(idx.len(), 0.0);
+            for ((&position, grad), w) in group.members().iter().zip(&s.grads).zip(&s.solves) {
                 per_obs_log_z[position] = grad.log_z;
                 if !grad.is_finite() {
                     // Underflowed normaliser: zero contribution, never NaN.
@@ -125,7 +134,7 @@ impl CpeLikelihoodKernel<'_> {
                 }
                 sum_d_mean += grad.d_mean;
                 sum_d_var += grad.d_variance;
-                for (acc, &wi) in sum_dm_w.iter_mut().zip(w.as_slice()) {
+                for (acc, &wi) in s.dm_w.iter_mut().zip(w.as_slice()) {
                     *acc += grad.d_mean * wi;
                 }
             }
@@ -143,12 +152,12 @@ impl CpeLikelihoodKernel<'_> {
             for (g, &gp) in idx.iter().enumerate() {
                 // ∂m/∂Sigma_Tg = w_g (per member) and ∂v/∂Sigma_Tg = -2 alpha_g.
                 d_cov
-                    .add(self.target, gp, sum_dm_w[g] - 2.0 * sum_d_var * alpha[g])
+                    .add(self.target, gp, s.dm_w[g] - 2.0 * sum_d_var * alpha[g])
                     .map_err(cpe_linalg_error)?;
             }
             // ∂m/∂Sigma_GG = -sym(alpha w^T), summed over members.
             d_cov
-                .add_sym_outer(-1.0, idx, alpha, &sum_dm_w)
+                .add_sym_outer(-1.0, idx, alpha, &s.dm_w)
                 .map_err(cpe_linalg_error)?;
             // ∂v/∂Sigma_GG = +alpha alpha^T.
             d_cov

@@ -71,6 +71,9 @@ pub use cpe::kernel::{
     MaskGroup, MaskGroups,
 };
 pub use cpe::{CpeConfig, CpeGradient, CpeObservation, CrossDomainEstimator};
+// The fold-pass math mode of the batched quadrature sweeps, re-exported so
+// `CpeConfig::quadrature_math` can be set without importing `c4u_stats`.
+pub use c4u_stats::QuadratureMath;
 pub use engine::{run_indexed_jobs, EvalEngine};
 pub use error::SelectionError;
 pub use evaluation::{

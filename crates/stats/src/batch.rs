@@ -10,20 +10,56 @@
 //! contiguous buffers and then sweeps a whole `(mu, c, x)` batch over them in
 //! node-major inner loops.
 //!
-//! Per worker the sweep is two passes over the node tables:
+//! Per worker the `Exact` sweep is two passes over the node tables:
 //!
 //! 1. the shifted log-integrand values land in a contiguous scratch buffer —
 //!    a pure mul/add loop over `node_lh`/`node_l1h`/`node_hc` that the
 //!    autovectoriser turns into f64 lanes;
-//! 2. exponentiation and accumulation run in node order, preserving the exact
-//!    summation order of [`GaussLegendre::integrate`].
+//! 2. exponentiation and accumulation fold the scratch buffer into the
+//!    normaliser (and moment) sums.
 //!
-//! Every arithmetic expression replicates the scalar path operation for
-//! operation (same clamp, same subtraction order, same fold of the interval
-//! half-width into the final sum), so the batched results are **bit-identical**
-//! to [`binomial_normal_moments`] / [`binomial_normal_log_z`] — the scalar
-//! functions remain the pinned cross-check oracle, enforced by the equivalence
-//! and property suites rather than by an epsilon.
+//! The `FastVector` sweep fuses the two passes: each [`VEXP_LANES`]-wide node
+//! chunk is filled, exponentiated, and accumulated while still in registers
+//! and a stack staging buffer, skipping the scratch round-trip entirely.
+//!
+//! # Math modes
+//!
+//! The fold pass runs under one of two [`QuadratureMath`] contracts, fixed at
+//! construction:
+//!
+//! * [`QuadratureMath::Exact`] (the default) exponentiates with libm's
+//!   `f64::exp` in node order, preserving the exact summation order of
+//!   [`GaussLegendre::integrate`]. Every arithmetic expression replicates the
+//!   scalar path operation for operation (same clamp, same subtraction order,
+//!   same fold of the interval half-width into the final sum), so the batched
+//!   results are **bit-identical** to [`binomial_normal_moments`] /
+//!   [`binomial_normal_log_z`] — the scalar functions remain the pinned
+//!   cross-check oracle, enforced by the equivalence and property suites
+//!   rather than by an epsilon.
+//! * [`QuadratureMath::FastVector`] replaces the per-node division with a
+//!   reciprocal multiply and fused multiply-adds, exponentiates with the
+//!   lane-chunked polynomial [`vexp`](crate::vexp) (≤2 ULP per element, see
+//!   [`crate::vmath`]), and accumulates in chunk-wide partial sums, which
+//!   breaks the serial add chain so the autovectoriser can keep the whole
+//!   fused sweep in packed lanes. The accumulation is still deterministic (a
+//!   fixed chunking, not threads), but it is **not** bit-identical to the
+//!   scalar oracle — the contract is tolerance-based instead: per-cell
+//!   `log_z`/moments within ~1e-12 relative of the `Exact` path on
+//!   well-scaled cells, pinned by property tests at this layer and
+//!   selection-equivalence tests at the estimator layer. Rules shorter than
+//!   the fold lanes simply take the remainder path — results are
+//!   position-independent either way.
+//!
+//! The peak-bracketing `log_max` grid scan is chunked into lane-wide max
+//! accumulators in both modes (floating-point `max` is insensitive to fold
+//! order for the non-`NaN` values the grid produces), but its *arithmetic*
+//! splits by mode: `Exact` evaluates every grid term with the oracle's
+//! `/ sigma` division so the scan stays bit-identical, while `FastVector`
+//! expands the Gaussian exponent to a division-free quadratic in `hc` (see
+//! `grid_max_approx`). The approximate peak only shifts the integrand before
+//! the exponential and is added back through `log_z`, so the perturbation
+//! cancels out of every returned quantity up to ordinary rounding — well
+//! inside the `FastVector` tolerance contract.
 //!
 //! The module also owns the thread-local diagnostic counters that let tests pin
 //! the batching contract: a likelihood evaluation or a `predict_batch` pass
@@ -56,6 +92,7 @@
 
 use crate::binomial_normal::{bracketing_points, LogZGradient, SIGMA_FLOOR};
 use crate::integrate::GaussLegendre;
+use crate::vmath::{vexp, vexp_scalar, VEXP_LANES};
 use std::cell::Cell;
 
 thread_local! {
@@ -99,12 +136,65 @@ pub(crate) fn record_scalar_evaluation() {
     SCALAR_QUADRATURE_EVALUATIONS.with(|c| c.set(c.get() + 1));
 }
 
+/// Arithmetic contract of the batched fold passes — see the
+/// [`BinomialNormalBatch`] docs for the full accuracy contract of each mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuadratureMath {
+    /// libm `f64::exp` in the scalar summation order: bit-identical to the
+    /// scalar oracle functions. The pinned default.
+    #[default]
+    Exact,
+    /// Fused register-resident sweeps over [`VEXP_LANES`]-wide node chunks —
+    /// division-free fill arithmetic, the lane-chunked polynomial
+    /// [`vexp`](crate::vexp), and chunk-wide partial-sum accumulation in one
+    /// pass: deterministic, but validated by tolerance (~1e-12 relative per
+    /// cell) rather than bit equality.
+    FastVector,
+}
+
+/// Width of the partial-sum / max-reduce accumulators in the `Exact`-mode
+/// fold passes. Rules (or the bracketing grid tail) shorter than this fall
+/// back to the scalar remainder path, which computes identical per-element
+/// values. (The `FastVector` sweeps chunk by [`VEXP_LANES`] instead.)
+const FOLD_LANES: usize = 4;
+
+/// Reusable scratch for the batched sweeps.
+///
+/// The `Exact`-mode per-worker passes need one `num_nodes`-sized buffer for
+/// the shifted log-integrand; the `*_with_scratch` / `*_into` methods borrow
+/// it from here instead of allocating per call, so a caller that loops over
+/// mask groups and epochs performs **zero** heap allocations in the sweep
+/// (the `FastVector` sweeps stage through a fixed stack buffer and never
+/// touch it). The buffer only ever grows; sharing one scratch across batches
+/// of different rule sizes is fine.
+#[derive(Debug, Clone, Default)]
+pub struct QuadratureScratch {
+    buf: Vec<f64>,
+}
+
+impl QuadratureScratch {
+    /// An empty scratch; the first sweep sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The node-sized view, growing the backing buffer if needed.
+    fn nodes(&mut self, n: usize) -> &mut [f64] {
+        if self.buf.len() < n {
+            self.buf.resize(n, 0.0);
+        }
+        &mut self.buf[..n]
+    }
+}
+
 /// Structure-of-arrays tables for batched binomial×normal quadrature over one
 /// [`GaussLegendre`] rule on `[0, 1]`.
 ///
 /// Built once per rule (cheap: one `ln` pair per node and grid point) and
 /// reused for every mask group and every model evaluation. All buffers are
 /// flat and contiguous; the per-worker inner loops index them node-major.
+/// The fold arithmetic is fixed at construction by [`QuadratureMath`]
+/// ([`new`](Self::new) pins the bit-identical `Exact` mode).
 #[derive(Debug, Clone)]
 pub struct BinomialNormalBatch {
     /// Mapped node positions `mid + half * x` on `[0, 1]`, unclamped — the
@@ -128,10 +218,13 @@ pub struct BinomialNormalBatch {
     node_l1h: Vec<f64>,
     /// The peak-bracketing grid (clamped) and its log tables, in
     /// `bracketing_points()` order so the `log_max` fold visits grid points in
-    /// the scalar order.
+    /// the scalar order — padded to a multiple of [`VEXP_LANES`] by repeating
+    /// the last point (a no-op under `max`) so the scans have no scalar tail.
     grid_hc: Vec<f64>,
     grid_lh: Vec<f64>,
     grid_l1h: Vec<f64>,
+    /// Fold arithmetic contract, fixed at construction.
+    math: QuadratureMath,
 }
 
 /// Interval half-width and midpoint of `[0, 1]` — written as the same
@@ -141,9 +234,23 @@ const HALF: f64 = 0.5 * (1.0 - 0.0);
 const MID: f64 = 0.5 * (0.0 + 1.0);
 
 impl BinomialNormalBatch {
-    /// Tabulates the SoA buffers for `quadrature` on `[0, 1]`.
+    /// Tabulates the SoA buffers for `quadrature` on `[0, 1]`, in the pinned
+    /// bit-identical [`QuadratureMath::Exact`] mode.
     pub fn new(quadrature: &GaussLegendre) -> Self {
+        Self::new_with_math(quadrature, QuadratureMath::Exact)
+    }
+
+    /// Tabulates the SoA buffers for `quadrature` on `[0, 1]` with an explicit
+    /// fold-arithmetic contract.
+    pub fn new_with_math(quadrature: &GaussLegendre, math: QuadratureMath) -> Self {
         let n = quadrature.order();
+        // `GaussLegendre::new` clamps its order to >= 2, so an empty rule is
+        // unreachable through the public API; assert rather than silently
+        // producing a batch whose every fold returns the empty-sum value.
+        assert!(
+            n >= 2,
+            "quadrature rule must have at least 2 nodes, got {n}"
+        );
         let mut node_h = Vec::with_capacity(n);
         let mut node_hc = Vec::with_capacity(n);
         let mut node_w = Vec::with_capacity(n);
@@ -169,6 +276,16 @@ impl BinomialNormalBatch {
             grid_lh.push(hc.ln());
             grid_l1h.push((1.0 - hc).ln());
         }
+        // Pad the grid tables to a whole number of scan chunks by repeating
+        // the last grid point. A `max` fold over duplicates of an element it
+        // already visits returns the identical value in both math modes, and
+        // the padding lets the per-worker `log_max` scans run lane chunks
+        // only — no serial scalar-remainder dependency chain at the tail.
+        while !grid_hc.len().is_multiple_of(VEXP_LANES) {
+            grid_hc.push(*grid_hc.last().expect("bracketing grid is non-empty"));
+            grid_lh.push(*grid_lh.last().expect("bracketing grid is non-empty"));
+            grid_l1h.push(*grid_l1h.last().expect("bracketing grid is non-empty"));
+        }
         Self {
             node_h,
             node_hc,
@@ -179,23 +296,49 @@ impl BinomialNormalBatch {
             grid_hc,
             grid_lh,
             grid_l1h,
+            math,
         }
     }
 
-    /// Number of quadrature nodes in the tables.
+    /// Number of quadrature nodes in the tables (always at least 2; rules
+    /// shorter than the chunk widths run entirely on the scalar remainder
+    /// paths, with identical per-element arithmetic).
     pub fn num_nodes(&self) -> usize {
         self.node_h.len()
+    }
+
+    /// The fold-arithmetic contract this batch was built with.
+    pub fn math(&self) -> QuadratureMath {
+        self.math
     }
 
     /// `log Z` of Eq. 5 for a whole shared-`sigma` batch: one sweep over the
     /// node tables per worker, one counter tick for the whole call.
     ///
-    /// `mu`, `c`, `x` and `log_z_out` must have equal lengths. Each output is
-    /// bit-identical to
+    /// `mu`, `c`, `x` and `log_z_out` must have equal lengths. In
+    /// [`QuadratureMath::Exact`] mode each output is bit-identical to
     /// [`binomial_normal_log_z`](crate::binomial_normal_log_z) at the same
     /// `(mu, sigma, c, x)`; an underflowing normaliser yields
     /// `f64::NEG_INFINITY` exactly as the scalar path does.
+    ///
+    /// Allocates a fresh scratch buffer; hot loops should hold a
+    /// [`QuadratureScratch`] and call
+    /// [`log_z_with_scratch`](Self::log_z_with_scratch).
     pub fn log_z(&self, sigma: f64, mu: &[f64], c: &[f64], x: &[f64], log_z_out: &mut [f64]) {
+        self.log_z_with_scratch(sigma, mu, c, x, log_z_out, &mut QuadratureScratch::new());
+    }
+
+    /// [`log_z`](Self::log_z) with a caller-owned scratch buffer: zero heap
+    /// allocations once the scratch has grown to the rule size.
+    pub fn log_z_with_scratch(
+        &self,
+        sigma: f64,
+        mu: &[f64],
+        c: &[f64],
+        x: &[f64],
+        log_z_out: &mut [f64],
+        scratch: &mut QuadratureScratch,
+    ) {
         assert_eq!(mu.len(), c.len());
         assert_eq!(mu.len(), x.len());
         assert_eq!(mu.len(), log_z_out.len());
@@ -203,7 +346,7 @@ impl BinomialNormalBatch {
         let sigma = sigma.max(SIGMA_FLOOR);
         let ln_sigma = sigma.ln();
         let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
-        let mut scratch = vec![0.0; self.num_nodes()];
+        let scratch = scratch.nodes(self.num_nodes());
         for i in 0..mu.len() {
             let (mu_i, c_i, x_i) = (mu[i], c[i], x[i]);
             let log_max = self.log_max(sigma, ln_sigma, half_ln_2pi, mu_i, c_i, x_i);
@@ -211,20 +354,28 @@ impl BinomialNormalBatch {
                 log_z_out[i] = f64::NEG_INFINITY;
                 continue;
             }
-            self.fill_shifted_log_integrand(
-                sigma,
-                ln_sigma,
-                half_ln_2pi,
-                mu_i,
-                c_i,
-                x_i,
-                log_max,
-                &mut scratch,
-            );
-            let mut sum_z = 0.0;
-            for (t, w) in scratch.iter().zip(&self.node_w) {
-                sum_z += w * t.exp();
-            }
+            let sum_z = match self.math {
+                QuadratureMath::Exact => {
+                    self.fill_shifted_log_integrand(
+                        sigma,
+                        ln_sigma,
+                        half_ln_2pi,
+                        mu_i,
+                        c_i,
+                        x_i,
+                        log_max,
+                        scratch,
+                    );
+                    self.fold_z_exact(scratch)
+                }
+                QuadratureMath::FastVector => self.sweep_z_fast(
+                    1.0 / sigma,
+                    ln_sigma + half_ln_2pi + log_max,
+                    mu_i,
+                    c_i,
+                    x_i,
+                ),
+            };
             let z = sum_z * HALF;
             log_z_out[i] = if z <= 0.0 || !z.is_finite() {
                 f64::NEG_INFINITY
@@ -236,10 +387,14 @@ impl BinomialNormalBatch {
 
     /// `(log Z, E[h])` of Eq. 5/8 for a whole shared-`sigma` batch.
     ///
-    /// Outputs are bit-identical to
+    /// In [`QuadratureMath::Exact`] mode outputs are bit-identical to
     /// [`binomial_normal_moments`](crate::binomial_normal_moments) at the same
     /// `(mu, sigma, c, x)`, including the underflow fallback
     /// `(NEG_INFINITY, mu.clamp(0, 1))`.
+    ///
+    /// Allocates a fresh scratch buffer; hot loops should hold a
+    /// [`QuadratureScratch`] and call
+    /// [`moments_with_scratch`](Self::moments_with_scratch).
     pub fn moments(
         &self,
         sigma: f64,
@@ -249,6 +404,30 @@ impl BinomialNormalBatch {
         log_z_out: &mut [f64],
         mean_out: &mut [f64],
     ) {
+        self.moments_with_scratch(
+            sigma,
+            mu,
+            c,
+            x,
+            log_z_out,
+            mean_out,
+            &mut QuadratureScratch::new(),
+        );
+    }
+
+    /// [`moments`](Self::moments) with a caller-owned scratch buffer: zero
+    /// heap allocations once the scratch has grown to the rule size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn moments_with_scratch(
+        &self,
+        sigma: f64,
+        mu: &[f64],
+        c: &[f64],
+        x: &[f64],
+        log_z_out: &mut [f64],
+        mean_out: &mut [f64],
+        scratch: &mut QuadratureScratch,
+    ) {
         assert_eq!(mu.len(), c.len());
         assert_eq!(mu.len(), x.len());
         assert_eq!(mu.len(), log_z_out.len());
@@ -257,7 +436,7 @@ impl BinomialNormalBatch {
         let sigma = sigma.max(SIGMA_FLOOR);
         let ln_sigma = sigma.ln();
         let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
-        let mut scratch = vec![0.0; self.num_nodes()];
+        let scratch = scratch.nodes(self.num_nodes());
         for i in 0..mu.len() {
             let (mu_i, c_i, x_i) = (mu[i], c[i], x[i]);
             let log_max = self.log_max(sigma, ln_sigma, half_ln_2pi, mu_i, c_i, x_i);
@@ -266,27 +445,32 @@ impl BinomialNormalBatch {
                 mean_out[i] = mu_i.clamp(0.0, 1.0);
                 continue;
             }
-            self.fill_shifted_log_integrand(
-                sigma,
-                ln_sigma,
-                half_ln_2pi,
-                mu_i,
-                c_i,
-                x_i,
-                log_max,
-                &mut scratch,
-            );
             // The scalar path runs the normaliser and the moment as two
             // independent `integrate` calls over the same integrand values;
             // one fused node-order pass reproduces both sums bit for bit
             // because each accumulator sees the same terms in the same order.
-            let mut sum_z = 0.0;
-            let mut sum_m = 0.0;
-            for ((t, w), h) in scratch.iter().zip(&self.node_w).zip(&self.node_h) {
-                let e = t.exp();
-                sum_z += w * e;
-                sum_m += w * (h * e);
-            }
+            let (sum_z, sum_m) = match self.math {
+                QuadratureMath::Exact => {
+                    self.fill_shifted_log_integrand(
+                        sigma,
+                        ln_sigma,
+                        half_ln_2pi,
+                        mu_i,
+                        c_i,
+                        x_i,
+                        log_max,
+                        scratch,
+                    );
+                    self.fold_zm_exact(scratch)
+                }
+                QuadratureMath::FastVector => self.sweep_zm_fast(
+                    1.0 / sigma,
+                    ln_sigma + half_ln_2pi + log_max,
+                    mu_i,
+                    c_i,
+                    x_i,
+                ),
+            };
             let z = sum_z * HALF;
             let first = sum_m * HALF;
             if z <= 0.0 || !z.is_finite() {
@@ -302,66 +486,80 @@ impl BinomialNormalBatch {
     /// `log Z` and its conditional-mean/variance derivatives for a
     /// shared-`sigma` batch — the Eq. 6–7 gradient sweep, over these tables.
     ///
-    /// Bit-identical to
+    /// In [`QuadratureMath::Exact`] mode this is bit-identical to
     /// [`binomial_normal_log_z_gradients`](crate::binomial_normal_log_z_gradients),
     /// which now delegates here; the historical accumulation (folded weights,
     /// combined normalisation constant, clamped node in `h - mu`) is preserved
     /// operation for operation.
+    ///
+    /// Allocates the output and a scratch buffer; hot loops should reuse both
+    /// via [`log_z_gradients_into`](Self::log_z_gradients_into).
     pub fn log_z_gradients(
         &self,
         sigma: f64,
         observations: &[(f64, f64, f64)],
     ) -> Vec<LogZGradient> {
+        let mut out = vec![LogZGradient::default(); observations.len()];
+        self.log_z_gradients_into(sigma, observations, &mut out, &mut QuadratureScratch::new());
+        out
+    }
+
+    /// [`log_z_gradients`](Self::log_z_gradients) into a caller-owned output
+    /// slice with a caller-owned scratch buffer: zero heap allocations once
+    /// the scratch has grown to the rule size. `out` must have the same
+    /// length as `observations`.
+    pub fn log_z_gradients_into(
+        &self,
+        sigma: f64,
+        observations: &[(f64, f64, f64)],
+        out: &mut [LogZGradient],
+        scratch: &mut QuadratureScratch,
+    ) {
+        assert_eq!(observations.len(), out.len());
         record_batched_sweep();
         let sigma = sigma.max(SIGMA_FLOOR);
         let variance = sigma * sigma;
         let norm_const = sigma.ln() + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let scratch = scratch.nodes(self.num_nodes());
 
-        observations
-            .iter()
-            .map(|&(mu, c, x)| {
-                let mut log_max = f64::NEG_INFINITY;
-                for ((hc, lh), l1h) in self.grid_hc.iter().zip(&self.grid_lh).zip(&self.grid_l1h) {
-                    let z = (hc - mu) / sigma;
-                    log_max = log_max.max(c * lh + x * l1h - 0.5 * z * z - norm_const);
+        for (&(mu, c, x), grad) in observations.iter().zip(out.iter_mut()) {
+            let log_max = self.log_max_combined(sigma, norm_const, mu, c, x);
+            if !log_max.is_finite() {
+                *grad = LogZGradient {
+                    log_z: f64::NEG_INFINITY,
+                    d_mean: 0.0,
+                    d_variance: 0.0,
+                };
+                continue;
+            }
+            // The same shape as the moments sweep, with the gradient path's
+            // combined normalisation constant; the fold fuses the three
+            // moments Z, E[h - mu], E[(h - mu)^2].
+            let (z0, z1, z2) = match self.math {
+                QuadratureMath::Exact => {
+                    self.fill_shifted_log_integrand_combined(
+                        sigma, norm_const, mu, c, x, log_max, scratch,
+                    );
+                    self.fold_gradient_exact(scratch, mu)
                 }
-                if !log_max.is_finite() {
-                    return LogZGradient {
-                        log_z: f64::NEG_INFINITY,
-                        d_mean: 0.0,
-                        d_variance: 0.0,
-                    };
+                QuadratureMath::FastVector => {
+                    self.sweep_gradient_fast(1.0 / sigma, norm_const + log_max, mu, c, x)
                 }
-                // One fused sweep for the three moments Z, E[h - mu], E[(h - mu)^2].
-                let (mut z0, mut z1, mut z2) = (0.0, 0.0, 0.0);
-                for (((hc, wf), lh), l1h) in self
-                    .node_hc
-                    .iter()
-                    .zip(&self.node_wf)
-                    .zip(&self.node_lh)
-                    .zip(&self.node_l1h)
-                {
-                    let z = (hc - mu) / sigma;
-                    let e = wf * (c * lh + x * l1h - 0.5 * z * z - norm_const - log_max).exp();
-                    let d = hc - mu;
-                    z0 += e;
-                    z1 += d * e;
-                    z2 += d * d * e;
+            };
+            *grad = if z0 <= 0.0 || !z0.is_finite() {
+                LogZGradient {
+                    log_z: f64::NEG_INFINITY,
+                    d_mean: 0.0,
+                    d_variance: 0.0,
                 }
-                if z0 <= 0.0 || !z0.is_finite() {
-                    return LogZGradient {
-                        log_z: f64::NEG_INFINITY,
-                        d_mean: 0.0,
-                        d_variance: 0.0,
-                    };
-                }
+            } else {
                 LogZGradient {
                     log_z: z0.ln() + log_max,
                     d_mean: (z1 / z0) / variance,
                     d_variance: (z2 / z0 - variance) / (2.0 * variance * variance),
                 }
-            })
-            .collect()
+            };
+        }
     }
 
     /// The peak-bracketing grid's log-integrand maximum for one cell — the
@@ -380,20 +578,129 @@ impl BinomialNormalBatch {
         self.log_max(sigma, sigma.ln(), half_ln_2pi, mu, c, x)
     }
 
-    /// `log_max` over the peak-bracketing grid — the scalar path's coarse scan
-    /// for stable exponentiation, folded in the scalar grid order.
+    /// `log_max` over the peak-bracketing grid with the moments path's split
+    /// constants (`- ln_sigma - half_ln_2pi`, matching the scalar closure's
+    /// subtraction order bit for bit in [`QuadratureMath::Exact`] mode).
     fn log_max(&self, sigma: f64, ln_sigma: f64, half_ln_2pi: f64, mu: f64, c: f64, x: f64) -> f64 {
-        let mut log_max = f64::NEG_INFINITY;
-        for ((hc, lh), l1h) in self.grid_hc.iter().zip(&self.grid_lh).zip(&self.grid_l1h) {
-            let z = (hc - mu) / sigma;
-            log_max = log_max.max(c * lh + x * l1h - 0.5 * z * z - ln_sigma - half_ln_2pi);
+        match self.math {
+            QuadratureMath::Exact => self.grid_max(|hc, lh, l1h| {
+                let z = (hc - mu) / sigma;
+                c * lh + x * l1h - 0.5 * z * z - ln_sigma - half_ln_2pi
+            }),
+            QuadratureMath::FastVector => {
+                self.grid_max_approx(mu, c, x, 1.0 / sigma, ln_sigma + half_ln_2pi)
+            }
         }
-        log_max
     }
 
-    /// Pass 1 of the per-worker sweep: the shifted log-integrand value at every
-    /// node into `scratch` — a branch-free mul/add loop over contiguous tables
-    /// that the autovectoriser widens to f64 lanes.
+    /// `log_max` over the peak-bracketing grid with the gradient path's
+    /// combined normalisation constant (`- norm_const`, preserving that
+    /// sweep's historical arithmetic bit for bit in
+    /// [`QuadratureMath::Exact`] mode).
+    fn log_max_combined(&self, sigma: f64, norm_const: f64, mu: f64, c: f64, x: f64) -> f64 {
+        match self.math {
+            QuadratureMath::Exact => self.grid_max(|hc, lh, l1h| {
+                let z = (hc - mu) / sigma;
+                c * lh + x * l1h - 0.5 * z * z - norm_const
+            }),
+            QuadratureMath::FastVector => self.grid_max_approx(mu, c, x, 1.0 / sigma, norm_const),
+        }
+    }
+
+    /// Division-free `log_max` of the [`QuadratureMath::FastVector`] path:
+    /// the Gaussian exponent is expanded to the quadratic
+    /// `alpha·hc² + beta·hc + gamma` (`alpha = −1/(2 sigma²)`, constants
+    /// folded per worker), so every grid point costs four fused
+    /// multiply-adds and a compare — no division, no `f64::max` libcall —
+    /// in one 8-lane chunked max pass.
+    ///
+    /// Expanding the square trades the exact form's `~2^-48` relative error
+    /// for a cancellation-amplified **absolute** error of order
+    /// `eps · |alpha|` (≲1e-4 at the `SIGMA_FLOOR` extreme). That is fine
+    /// *here* — and only here — because the stabilisation peak **cancels
+    /// mathematically** in everything the sweeps return: `log Z` adds the
+    /// same `log_max` it subtracted inside the exponent, and the
+    /// moment/gradient outputs are ratios of sums that scale by the
+    /// identical `exp(-log_max)`. Any finite shift within the exp
+    /// over/underflow budget (~±700 nats of the true peak) produces the same
+    /// results up to ordinary rounding, well inside the FastVector ~1e-12
+    /// tolerance contract (only a cell balanced on the absolute underflow
+    /// cutoff could flip its `NEG_INFINITY` fallback, which that contract
+    /// already treats as a boundary). The per-node *fill* arithmetic must
+    /// NOT use this expansion — its errors do not cancel.
+    ///
+    /// `NaN` grid terms (an edge point's `0 · ln 0`) are skipped by the
+    /// `t > a` compare-select exactly as the exact scan's `f64::max` skips
+    /// them, and a non-finite result still falls back the same way: the
+    /// caller replaces the whole cell with the underflow value.
+    ///
+    /// Marked `#[inline]` for the same reason as [`vexp`]: one call per
+    /// worker from the hot batch loops, where the call boundary would spill
+    /// the loop's live vector registers.
+    #[inline]
+    fn grid_max_approx(&self, mu: f64, c: f64, x: f64, inv_sigma: f64, k: f64) -> f64 {
+        let alpha = -0.5 * inv_sigma * inv_sigma;
+        let beta = -2.0 * alpha * mu;
+        let gamma = alpha * mu * mu - k;
+        let mut acc = [f64::NEG_INFINITY; VEXP_LANES];
+        let mut hc_it = self.grid_hc.chunks_exact(VEXP_LANES);
+        let mut lh_it = self.grid_lh.chunks_exact(VEXP_LANES);
+        let mut l1h_it = self.grid_l1h.chunks_exact(VEXP_LANES);
+        for ((hc, lh), l1h) in (&mut hc_it).zip(&mut lh_it).zip(&mut l1h_it) {
+            for (a, ((&hc, &lh), &l1h)) in acc.iter_mut().zip(hc.iter().zip(lh).zip(l1h)) {
+                let t = hc.mul_add(hc.mul_add(alpha, beta), gamma);
+                let t = lh.mul_add(c, t);
+                let t = l1h.mul_add(x, t);
+                *a = if t > *a { t } else { *a };
+            }
+        }
+        for ((&hc, &lh), &l1h) in hc_it
+            .remainder()
+            .iter()
+            .zip(lh_it.remainder())
+            .zip(l1h_it.remainder())
+        {
+            let t = hc.mul_add(hc.mul_add(alpha, beta), gamma);
+            let t = lh.mul_add(c, t);
+            let t = l1h.mul_add(x, t);
+            acc[0] = if t > acc[0] { t } else { acc[0] };
+        }
+        acc.into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Chunked max-reduce of `term` over the bracketing-grid tables: 4-lane
+    /// max accumulators over the chunks, scalar tail, lanes folded at the
+    /// end. Bit-identical to a sequential scan for every fold order —
+    /// floating-point `max` is commutative and associative on the non-`NaN`
+    /// values the grid produces (and an all-`-inf` scan still yields
+    /// `-inf`) — while letting the autovectoriser keep the grid scan in
+    /// packed lanes. The [`QuadratureMath::Exact`] grid path.
+    fn grid_max(&self, term: impl Fn(f64, f64, f64) -> f64) -> f64 {
+        let mut acc = [f64::NEG_INFINITY; FOLD_LANES];
+        let mut hc_it = self.grid_hc.chunks_exact(FOLD_LANES);
+        let mut lh_it = self.grid_lh.chunks_exact(FOLD_LANES);
+        let mut l1h_it = self.grid_l1h.chunks_exact(FOLD_LANES);
+        for ((hc, lh), l1h) in (&mut hc_it).zip(&mut lh_it).zip(&mut l1h_it) {
+            for (a, ((&hc, &lh), &l1h)) in acc.iter_mut().zip(hc.iter().zip(lh).zip(l1h)) {
+                *a = a.max(term(hc, lh, l1h));
+            }
+        }
+        for ((&hc, &lh), &l1h) in hc_it
+            .remainder()
+            .iter()
+            .zip(lh_it.remainder())
+            .zip(l1h_it.remainder())
+        {
+            acc[0] = acc[0].max(term(hc, lh, l1h));
+        }
+        acc.into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Pass 1 of the [`QuadratureMath::Exact`] per-worker sweep: the shifted
+    /// log-integrand value at every node into `scratch`, preserving the
+    /// scalar oracle's `/ sigma` division and constant-subtraction order bit
+    /// for bit. Split-constant form (moments path). The `FastVector` sweeps
+    /// never stage through `scratch` — see [`sweep_zm_fast`](Self::sweep_zm_fast).
     #[allow(clippy::too_many_arguments)]
     fn fill_shifted_log_integrand(
         &self,
@@ -415,6 +722,244 @@ impl BinomialNormalBatch {
             let z = (hc - mu) / sigma;
             *t = c * lh + x * l1h - 0.5 * z * z - ln_sigma - half_ln_2pi - log_max;
         }
+    }
+
+    /// Pass 1 with the gradient path's combined normalisation constant
+    /// ([`QuadratureMath::Exact`] only, like
+    /// [`fill_shifted_log_integrand`](Self::fill_shifted_log_integrand)).
+    #[allow(clippy::too_many_arguments)]
+    fn fill_shifted_log_integrand_combined(
+        &self,
+        sigma: f64,
+        norm_const: f64,
+        mu: f64,
+        c: f64,
+        x: f64,
+        log_max: f64,
+        scratch: &mut [f64],
+    ) {
+        for (((t, hc), lh), l1h) in scratch
+            .iter_mut()
+            .zip(&self.node_hc)
+            .zip(&self.node_lh)
+            .zip(&self.node_l1h)
+        {
+            let z = (hc - mu) / sigma;
+            *t = c * lh + x * l1h - 0.5 * z * z - norm_const - log_max;
+        }
+    }
+
+    /// Exact-mode normaliser fold: libm `exp`, node-order serial sum — the
+    /// summation order of `GaussLegendre::integrate`, bit for bit.
+    fn fold_z_exact(&self, scratch: &[f64]) -> f64 {
+        let mut sum_z = 0.0;
+        for (t, w) in scratch.iter().zip(&self.node_w) {
+            sum_z += w * t.exp();
+        }
+        sum_z
+    }
+
+    /// Pairwise tree reduction of a lane accumulator: `log2(LANES)` rounds of
+    /// halving instead of a serial left fold. The serial fold is a
+    /// latency-chained `LANES - 1` additions (~4 cycles each) per worker; the
+    /// tree is `log2(LANES)` dependent rounds. Fast-sweep accumulators only —
+    /// the Exact folds keep the pinned node-order serial sum.
+    #[inline]
+    fn hsum_lanes(mut acc: [f64; VEXP_LANES]) -> f64 {
+        const { assert!(VEXP_LANES.is_power_of_two()) };
+        let mut half = VEXP_LANES / 2;
+        while half >= 1 {
+            for i in 0..half {
+                acc[i] += acc[i + half];
+            }
+            half /= 2;
+        }
+        acc[0]
+    }
+
+    /// FastVector normaliser sweep: fill, exponentiate, and accumulate one
+    /// [`VEXP_LANES`]-wide node chunk at a time, entirely in registers and a
+    /// stack staging buffer — no scratch round-trip. The per-node arithmetic
+    /// is the division-free fill form (`u = (hc − mu)·(1/sigma)`, constants
+    /// folded per worker into `k`) followed by [`vexp`] on the staged chunk;
+    /// the remainder (and any rule shorter than one chunk) runs the
+    /// identical [`vexp_scalar`] math, so results stay position-independent.
+    fn sweep_z_fast(&self, inv_sigma: f64, k: f64, mu: f64, c: f64, x: f64) -> f64 {
+        let mut acc = [0.0f64; VEXP_LANES];
+        let mut buf = [0.0f64; VEXP_LANES];
+        let mut hc_it = self.node_hc.chunks_exact(VEXP_LANES);
+        let mut lh_it = self.node_lh.chunks_exact(VEXP_LANES);
+        let mut l1h_it = self.node_l1h.chunks_exact(VEXP_LANES);
+        let mut w_it = self.node_w.chunks_exact(VEXP_LANES);
+        for (((hc, lh), l1h), w) in (&mut hc_it).zip(&mut lh_it).zip(&mut l1h_it).zip(&mut w_it) {
+            for (b, ((&hc, &lh), &l1h)) in buf.iter_mut().zip(hc.iter().zip(lh).zip(l1h)) {
+                let u = (hc - mu) * inv_sigma;
+                *b = x.mul_add(l1h, c * lh) - u.mul_add(0.5 * u, k);
+            }
+            vexp(&mut buf);
+            for (a, (&e, &w)) in acc.iter_mut().zip(buf.iter().zip(w)) {
+                *a += w * e;
+            }
+        }
+        for (((&hc, &lh), &l1h), &w) in hc_it
+            .remainder()
+            .iter()
+            .zip(lh_it.remainder())
+            .zip(l1h_it.remainder())
+            .zip(w_it.remainder())
+        {
+            let u = (hc - mu) * inv_sigma;
+            let e = vexp_scalar(x.mul_add(l1h, c * lh) - u.mul_add(0.5 * u, k));
+            acc[0] += w * e;
+        }
+        Self::hsum_lanes(acc)
+    }
+
+    /// Exact-mode fused normaliser+moment fold (see `moments`).
+    fn fold_zm_exact(&self, scratch: &[f64]) -> (f64, f64) {
+        let mut sum_z = 0.0;
+        let mut sum_m = 0.0;
+        for ((t, w), h) in scratch.iter().zip(&self.node_w).zip(&self.node_h) {
+            let e = t.exp();
+            sum_z += w * e;
+            sum_m += w * (h * e);
+        }
+        (sum_z, sum_m)
+    }
+
+    /// FastVector fused normaliser+moment sweep — the chunked fill/exp/fold
+    /// shape of [`sweep_z_fast`](Self::sweep_z_fast), accumulating `Z` and
+    /// the first moment together.
+    fn sweep_zm_fast(&self, inv_sigma: f64, k: f64, mu: f64, c: f64, x: f64) -> (f64, f64) {
+        let mut acc_z = [0.0f64; VEXP_LANES];
+        let mut acc_m = [0.0f64; VEXP_LANES];
+        let mut buf = [0.0f64; VEXP_LANES];
+        let mut hc_it = self.node_hc.chunks_exact(VEXP_LANES);
+        let mut lh_it = self.node_lh.chunks_exact(VEXP_LANES);
+        let mut l1h_it = self.node_l1h.chunks_exact(VEXP_LANES);
+        let mut w_it = self.node_w.chunks_exact(VEXP_LANES);
+        let mut h_it = self.node_h.chunks_exact(VEXP_LANES);
+        for ((((hc, lh), l1h), w), h) in (&mut hc_it)
+            .zip(&mut lh_it)
+            .zip(&mut l1h_it)
+            .zip(&mut w_it)
+            .zip(&mut h_it)
+        {
+            for (b, ((&hc, &lh), &l1h)) in buf.iter_mut().zip(hc.iter().zip(lh).zip(l1h)) {
+                let u = (hc - mu) * inv_sigma;
+                *b = x.mul_add(l1h, c * lh) - u.mul_add(0.5 * u, k);
+            }
+            vexp(&mut buf);
+            // Fixed-size chunk views: `[f64; VEXP_LANES]` (rather than
+            // length-8 slices) is the shape LLVM widens into clean packed
+            // multiply-adds across the chunk instead of pairing the two
+            // accumulators per node into element shuffles.
+            let w: &[f64; VEXP_LANES] = w.try_into().expect("chunks_exact width");
+            let h: &[f64; VEXP_LANES] = h.try_into().expect("chunks_exact width");
+            for j in 0..VEXP_LANES {
+                buf[j] *= w[j];
+            }
+            for j in 0..VEXP_LANES {
+                acc_z[j] += buf[j];
+            }
+            for j in 0..VEXP_LANES {
+                acc_m[j] += h[j] * buf[j];
+            }
+        }
+        for ((((&hc, &lh), &l1h), &w), &h) in hc_it
+            .remainder()
+            .iter()
+            .zip(lh_it.remainder())
+            .zip(l1h_it.remainder())
+            .zip(w_it.remainder())
+            .zip(h_it.remainder())
+        {
+            let u = (hc - mu) * inv_sigma;
+            let e = w * vexp_scalar(x.mul_add(l1h, c * lh) - u.mul_add(0.5 * u, k));
+            acc_z[0] += e;
+            acc_m[0] += h * e;
+        }
+        (Self::hsum_lanes(acc_z), Self::hsum_lanes(acc_m))
+    }
+
+    /// Exact-mode fused gradient fold: the three moments `Z`, `E[h - mu]`,
+    /// `E[(h - mu)^2]` with the historical folded-weight accumulation.
+    fn fold_gradient_exact(&self, scratch: &[f64], mu: f64) -> (f64, f64, f64) {
+        let (mut z0, mut z1, mut z2) = (0.0, 0.0, 0.0);
+        for ((t, hc), wf) in scratch.iter().zip(&self.node_hc).zip(&self.node_wf) {
+            let e = wf * t.exp();
+            let d = hc - mu;
+            z0 += e;
+            z1 += d * e;
+            z2 += d * d * e;
+        }
+        (z0, z1, z2)
+    }
+
+    /// FastVector fused gradient sweep — the chunked fill/exp/fold shape of
+    /// [`sweep_z_fast`](Self::sweep_z_fast) over the folded-weight tables,
+    /// accumulating the three moments `Z`, `E[h - mu]`, `E[(h - mu)^2]`.
+    fn sweep_gradient_fast(
+        &self,
+        inv_sigma: f64,
+        k: f64,
+        mu: f64,
+        c: f64,
+        x: f64,
+    ) -> (f64, f64, f64) {
+        let mut a0 = [0.0f64; VEXP_LANES];
+        let mut a1 = [0.0f64; VEXP_LANES];
+        let mut a2 = [0.0f64; VEXP_LANES];
+        let mut buf = [0.0f64; VEXP_LANES];
+        let mut hc_it = self.node_hc.chunks_exact(VEXP_LANES);
+        let mut lh_it = self.node_lh.chunks_exact(VEXP_LANES);
+        let mut l1h_it = self.node_l1h.chunks_exact(VEXP_LANES);
+        let mut wf_it = self.node_wf.chunks_exact(VEXP_LANES);
+        for (((hc, lh), l1h), wf) in (&mut hc_it)
+            .zip(&mut lh_it)
+            .zip(&mut l1h_it)
+            .zip(&mut wf_it)
+        {
+            for (b, ((&hc, &lh), &l1h)) in buf.iter_mut().zip(hc.iter().zip(lh).zip(l1h)) {
+                let u = (hc - mu) * inv_sigma;
+                *b = x.mul_add(l1h, c * lh) - u.mul_add(0.5 * u, k);
+            }
+            vexp(&mut buf);
+            // Same single-accumulator-per-loop shape as `sweep_zm_fast`: fold
+            // the weight in, then widen each moment independently.
+            for (b, &wf) in buf.iter_mut().zip(wf) {
+                *b *= wf;
+            }
+            for (a, &e) in a0.iter_mut().zip(&buf) {
+                *a += e;
+            }
+            for (a, (&e, &hc)) in a1.iter_mut().zip(buf.iter().zip(hc)) {
+                *a += (hc - mu) * e;
+            }
+            for (a, (&e, &hc)) in a2.iter_mut().zip(buf.iter().zip(hc)) {
+                let d = hc - mu;
+                *a += d * d * e;
+            }
+        }
+        for (((&hc, &lh), &l1h), &wf) in hc_it
+            .remainder()
+            .iter()
+            .zip(lh_it.remainder())
+            .zip(l1h_it.remainder())
+            .zip(wf_it.remainder())
+        {
+            let u = (hc - mu) * inv_sigma;
+            let e = wf * vexp_scalar(x.mul_add(l1h, c * lh) - u.mul_add(0.5 * u, k));
+            let d = hc - mu;
+            a0[0] += e;
+            a1[0] += d * e;
+            a2[0] += d * d * e;
+        }
+        (
+            Self::hsum_lanes(a0),
+            Self::hsum_lanes(a1),
+            Self::hsum_lanes(a2),
+        )
     }
 }
 
@@ -473,6 +1018,91 @@ mod tests {
     }
 
     #[test]
+    fn scratch_variants_bit_identical_to_allocating_forms() {
+        let quadrature = GaussLegendre::new(24);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        let mu: Vec<f64> = CELLS.iter().map(|c| c.0).collect();
+        let c: Vec<f64> = CELLS.iter().map(|c| c.2).collect();
+        let x: Vec<f64> = CELLS.iter().map(|c| c.3).collect();
+        let obs: Vec<(f64, f64, f64)> = CELLS.iter().map(|&(mu, _, c, x)| (mu, c, x)).collect();
+        // One scratch reused across every call (and deliberately pre-grown by
+        // a larger rule) must not change any result.
+        let mut scratch = QuadratureScratch::new();
+        BinomialNormalBatch::new(&GaussLegendre::new(48)).log_z_with_scratch(
+            0.2,
+            &mu,
+            &c,
+            &x,
+            &mut vec![0.0; mu.len()],
+            &mut scratch,
+        );
+        for sigma in [0.02, 0.12] {
+            let mut log_z = vec![0.0; mu.len()];
+            let mut mean = vec![0.0; mu.len()];
+            batch.moments(sigma, &mu, &c, &x, &mut log_z, &mut mean);
+            let mut log_z2 = vec![0.0; mu.len()];
+            let mut mean2 = vec![0.0; mu.len()];
+            batch.moments_with_scratch(sigma, &mu, &c, &x, &mut log_z2, &mut mean2, &mut scratch);
+            assert_eq!(log_z, log_z2);
+            assert_eq!(mean, mean2);
+            let mut lz = vec![0.0; mu.len()];
+            batch.log_z_with_scratch(sigma, &mu, &c, &x, &mut lz, &mut scratch);
+            assert_eq!(log_z, lz);
+            let want = batch.log_z_gradients(sigma, &obs);
+            let mut got = vec![LogZGradient::default(); obs.len()];
+            batch.log_z_gradients_into(sigma, &obs, &mut got, &mut scratch);
+            assert_eq!(got, want);
+        }
+    }
+
+    /// FastVector is not bit-identical, but on well-scaled cells it must sit
+    /// within ~1e-12 relative of the Exact path (the proptest suite widens
+    /// this to random cells; this pins the deterministic hard cells).
+    #[test]
+    fn fast_vector_tracks_exact_within_tolerance() {
+        for order in [2usize, 5, 16, 32, 64] {
+            let quadrature = GaussLegendre::new(order);
+            let exact = BinomialNormalBatch::new(&quadrature);
+            let fast = BinomialNormalBatch::new_with_math(&quadrature, QuadratureMath::FastVector);
+            assert_eq!(fast.math(), QuadratureMath::FastVector);
+            let mu: Vec<f64> = CELLS.iter().map(|c| c.0).collect();
+            let c: Vec<f64> = CELLS.iter().map(|c| c.2).collect();
+            let x: Vec<f64> = CELLS.iter().map(|c| c.3).collect();
+            for sigma in [0.02, 0.12, 0.3] {
+                let n = mu.len();
+                let (mut lz_e, mut m_e) = (vec![0.0; n], vec![0.0; n]);
+                let (mut lz_f, mut m_f) = (vec![0.0; n], vec![0.0; n]);
+                exact.moments(sigma, &mu, &c, &x, &mut lz_e, &mut m_e);
+                fast.moments(sigma, &mu, &c, &x, &mut lz_f, &mut m_f);
+                for i in 0..n {
+                    if lz_e[i] == f64::NEG_INFINITY {
+                        assert_eq!(lz_f[i], f64::NEG_INFINITY, "order {order} cell {i}");
+                    } else {
+                        let tol = 1e-12 * (1.0 + lz_e[i].abs());
+                        assert!(
+                            (lz_e[i] - lz_f[i]).abs() <= tol,
+                            "order {order} sigma {sigma} cell {i}: {} vs {}",
+                            lz_e[i],
+                            lz_f[i]
+                        );
+                        // Baseline tolerance plus the conditioning allowance:
+                        // the fused fill carries a few ulps of the pre-shift
+                        // magnitudes (~|log_z|), which the exponential turns
+                        // into relative noise on every node term.
+                        let mean_tol = 1e-12 + 64.0 * f64::EPSILON * (1.0 + lz_e[i].abs());
+                        assert!(
+                            (m_e[i] - m_f[i]).abs() <= mean_tol,
+                            "order {order} sigma {sigma} cell {i}: mean {} vs {}",
+                            m_e[i],
+                            m_f[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn underflow_fallbacks_match_scalar() {
         let quadrature = GaussLegendre::new(32);
         let batch = BinomialNormalBatch::new(&quadrature);
@@ -520,5 +1150,19 @@ mod tests {
         let batch = BinomialNormalBatch::new(&quadrature);
         let mut out = [0.0; 2];
         batch.log_z(0.1, &[0.5], &[1.0], &[1.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_gradient_out_length_panics() {
+        let quadrature = GaussLegendre::new(8);
+        let batch = BinomialNormalBatch::new(&quadrature);
+        let mut out = [LogZGradient::default(); 2];
+        batch.log_z_gradients_into(
+            0.1,
+            &[(0.5, 1.0, 1.0)],
+            &mut out,
+            &mut QuadratureScratch::new(),
+        );
     }
 }

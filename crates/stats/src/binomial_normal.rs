@@ -143,7 +143,11 @@ fn moments_impl(
 
 /// `log Z` and its derivatives with respect to the conditional mean and
 /// conditional variance, for one observation of a shared-`sigma` batch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Default` is the all-zero gradient — a convenient filler when resizing a
+/// reusable output buffer for
+/// [`BinomialNormalBatch::log_z_gradients_into`](crate::BinomialNormalBatch::log_z_gradients_into).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LogZGradient {
     /// `log Z` of the binomial×normal integral ([`f64::NEG_INFINITY`] when the
     /// normaliser underflows; the derivatives are zero in that case).

@@ -59,10 +59,12 @@ mod integrate;
 mod mvn;
 mod special;
 mod univariate;
+mod vmath;
 
 pub use batch::{
     batched_quadrature_sweeps, reset_batched_quadrature_sweeps,
     reset_scalar_quadrature_evaluations, scalar_quadrature_evaluations, BinomialNormalBatch,
+    QuadratureMath, QuadratureScratch,
 };
 pub use binomial_normal::{
     binomial_normal_log_z, binomial_normal_log_z_gradients, binomial_normal_moments, LogZGradient,
@@ -86,6 +88,7 @@ pub use special::{
     std_normal_quantile,
 };
 pub use univariate::{sample_standard_normal, Bernoulli, Normal, TruncatedNormal, Uniform};
+pub use vmath::{vexp, vexp_scalar, VEXP_LANES};
 
 // Re-export the linear-algebra types used in this crate's public API so downstream
 // crates do not need a direct `c4u-linalg` dependency just to construct inputs.

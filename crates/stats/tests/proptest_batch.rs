@@ -17,7 +17,7 @@
 
 use c4u_stats::{
     binomial_normal_log_z, binomial_normal_log_z_gradients, binomial_normal_moments,
-    BinomialNormalBatch, GaussLegendre,
+    BinomialNormalBatch, GaussLegendre, QuadratureMath,
 };
 use proptest::prelude::*;
 
@@ -121,6 +121,118 @@ proptest! {
             } else {
                 prop_assert_eq!(grad.log_z, f64::NEG_INFINITY, "cell {}", i);
                 prop_assert_eq!(scalar, f64::NEG_INFINITY, "cell {}", i);
+            }
+        }
+    }
+
+    /// The `FastVector` accuracy contract at this layer: against the pinned
+    /// `Exact` path, per-cell `log_z` and moments agree to ~1e-12 relative on
+    /// well-scaled cells — compared in the peak-shifted exp domain for the
+    /// same reason as above (when the shifted mass is subnormal, the last
+    /// digits of *any* log-space answer are quantisation noise, so both paths
+    /// must agree on "zero mass" rather than on those digits).
+    ///
+    /// On ill-conditioned cells the bound degrades with the log-domain
+    /// conditioning: the `FastVector` fill folds its constants per worker and
+    /// multiplies by `1/sigma`, so each shifted log term carries a few ulps
+    /// of the *pre-shift* magnitudes (~`eps * |peak|` absolute), which the
+    /// exponential turns into relative mass noise. The extreme-count cells
+    /// here (|peak| up to ~1e6 nats) sit ~1e-10 apart in mass for that
+    /// reason; a 64-ulp-equivalent conditioning allowance covers the
+    /// handful of reordered operations with wide margin while keeping the
+    /// 1e-12 baseline binding wherever |peak| ≲ 1e3.
+    #[test]
+    fn fast_vector_tracks_exact_within_1e12_relative(
+        cells in prop::collection::vec(cell_strategy(), 1..12),
+        sigma in 0.0..0.5f64,
+        order in 2usize..48,
+    ) {
+        let mut cells = cells;
+        cells.extend(edge_cells());
+        let quadrature = GaussLegendre::new(order);
+        let exact = BinomialNormalBatch::new(&quadrature);
+        let fast = BinomialNormalBatch::new_with_math(&quadrature, QuadratureMath::FastVector);
+
+        let mu: Vec<f64> = cells.iter().map(|c| c.0).collect();
+        let c: Vec<f64> = cells.iter().map(|c| c.1).collect();
+        let x: Vec<f64> = cells.iter().map(|c| c.2).collect();
+        let n = cells.len();
+        let (mut lz_e, mut m_e) = (vec![0.0; n], vec![0.0; n]);
+        let (mut lz_f, mut m_f) = (vec![0.0; n], vec![0.0; n]);
+        exact.moments(sigma, &mu, &c, &x, &mut lz_e, &mut m_e);
+        fast.moments(sigma, &mu, &c, &x, &mut lz_f, &mut m_f);
+        let mut lz_only = vec![0.0; n];
+        fast.log_z(sigma, &mu, &c, &x, &mut lz_only);
+        let grads_e = exact.log_z_gradients(
+            sigma,
+            &cells.iter().map(|&(mu, c, x)| (mu, c, x)).collect::<Vec<_>>(),
+        );
+        let grads_f = fast.log_z_gradients(
+            sigma,
+            &cells.iter().map(|&(mu, c, x)| (mu, c, x)).collect::<Vec<_>>(),
+        );
+
+        for i in 0..n {
+            let peak = exact.log_integrand_peak(sigma, mu[i], c[i], x[i]);
+            if !peak.is_finite() {
+                prop_assert_eq!(lz_e[i], f64::NEG_INFINITY, "cell {}", i);
+                prop_assert_eq!(lz_f[i], f64::NEG_INFINITY, "cell {}", i);
+                continue;
+            }
+            // Shifted-mass comparison: ~1e-12 relative on well-scaled cells
+            // plus the conditioning allowance (see the doc comment),
+            // collapsing the subnormal-mass regime to 0 ~ 0.
+            let cond = 64.0 * f64::EPSILON * (1.0 + peak.abs());
+            let mass_e = (lz_e[i] - peak).exp();
+            let mass_f = (lz_f[i] - peak).exp();
+            let tolerance = (1e-12 + cond) * mass_e.max(mass_f) + 1e-290;
+            prop_assert!(
+                (mass_e - mass_f).abs() <= tolerance,
+                "cell {} (mu={:e} c={} x={} sigma={:e} order={}): exact {} vs fast {}",
+                i, mu[i], c[i], x[i], sigma, order, lz_e[i], lz_f[i]
+            );
+            prop_assert_eq!(lz_only[i].to_bits(), lz_f[i].to_bits(), "cell {}", i);
+            // Ratios (the posterior mean and the gradient moments) are only
+            // well-conditioned while the shifted normaliser is well above the
+            // subnormal band — below that, every node term is quantised to
+            // multiples of ~4.9e-324 and first/z is noise in *both* paths.
+            if mass_e.min(mass_f) >= 1e-300 {
+                // The mean is a shift-independent ratio, but its node terms
+                // carry the same per-term conditioning noise (factor 2: the
+                // moment numerator and the normaliser each contribute).
+                prop_assert!(
+                    (m_e[i] - m_f[i]).abs() <= 1e-12 + 2.0 * cond,
+                    "cell {}: mean {} vs {}", i, m_e[i], m_f[i]
+                );
+            }
+            // Gradient sweep under the same contract (its own shift constant).
+            let (ge, gf) = (&grads_e[i], &grads_f[i]);
+            if ge.log_z.is_finite() && gf.log_z.is_finite() {
+                let mass_e = (ge.log_z - peak).exp();
+                let mass_f = (gf.log_z - peak).exp();
+                let tolerance = (1e-12 + cond) * mass_e.max(mass_f) + 1e-290;
+                prop_assert!(
+                    (mass_e - mass_f).abs() <= tolerance,
+                    "cell {}: gradient log_z {} vs {}", i, ge.log_z, gf.log_z
+                );
+                if mass_e.min(mass_f) >= 1e-300 {
+                    // The gradient moments divide the conditioning noise of
+                    // the (shift-independent) expectation ratios by the
+                    // variance (and its square), exactly as the derivative
+                    // formulas do — `1e-6` is the kernel's sigma floor.
+                    let variance = sigma.max(1e-6) * sigma.max(1e-6);
+                    let scale = 1.0 + ge.d_mean.abs().max(gf.d_mean.abs());
+                    prop_assert!(
+                        (ge.d_mean - gf.d_mean).abs() <= 1e-9 * scale + 2.0 * cond / variance,
+                        "cell {}: d_mean {} vs {}", i, ge.d_mean, gf.d_mean
+                    );
+                    let scale = 1.0 + ge.d_variance.abs().max(gf.d_variance.abs());
+                    prop_assert!(
+                        (ge.d_variance - gf.d_variance).abs()
+                            <= 1e-9 * scale + 2.0 * cond / (variance * variance),
+                        "cell {}: d_variance {} vs {}", i, ge.d_variance, gf.d_variance
+                    );
+                }
             }
         }
     }

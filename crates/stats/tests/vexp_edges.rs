@@ -1,0 +1,169 @@
+//! Exhaustive-edge and ULP-bound tests for the lane-chunked polynomial `exp`.
+//!
+//! The [`vexp`] contract (see `c4u_stats::vmath`) is ≤2 ULP against libm over
+//! the shifted-log domain the quadrature fold pass feeds it — `(-inf, 0]`
+//! plus a small positive spill-over — including results in the subnormal
+//! range, the flush-to-zero cutoff, and the IEEE edge cases. This suite pins
+//! the edges deterministically and the ULP bound by property test.
+
+use c4u_stats::{vexp, vexp_scalar, VEXP_LANES};
+use proptest::prelude::*;
+
+/// ULP distance between two non-negative doubles (`exp` never returns a
+/// negative value), treating equal values — including `0 == 0` and
+/// `inf == inf` — as distance zero.
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    assert!(
+        a.is_sign_positive() && b.is_sign_positive(),
+        "ulp_diff is for non-negative values, got {a} / {b}"
+    );
+    (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs()
+}
+
+fn assert_within_2_ulp(x: f64) {
+    let got = vexp_scalar(x);
+    let want = x.exp();
+    let d = ulp_diff(got, want);
+    assert!(d <= 2, "x={x:e}: vexp {got:e} vs libm {want:e} ({d} ulp)");
+}
+
+#[test]
+fn signed_zeros_are_exactly_one() {
+    assert_eq!(vexp_scalar(0.0), 1.0);
+    assert_eq!(vexp_scalar(-0.0), 1.0);
+}
+
+#[test]
+fn infinities_and_nan_follow_ieee() {
+    assert_eq!(vexp_scalar(f64::NEG_INFINITY), 0.0);
+    assert_eq!(vexp_scalar(f64::INFINITY), f64::INFINITY);
+    assert!(vexp_scalar(f64::NAN).is_nan());
+}
+
+#[test]
+fn subnormal_inputs_round_to_one() {
+    for x in [
+        f64::MIN_POSITIVE / 2.0,
+        -f64::MIN_POSITIVE / 2.0,
+        5e-324,
+        -5e-324,
+        1e-320,
+        -1e-320,
+    ] {
+        assert_eq!(vexp_scalar(x), 1.0, "x={x:e}");
+        assert_eq!(x.exp(), 1.0, "libm disagrees at x={x:e}");
+    }
+}
+
+#[test]
+// The threshold literals carry their full decimal expansions on purpose —
+// they document the exact f64 edges being probed.
+#[allow(clippy::excessive_precision)]
+fn subnormal_result_band_stays_within_2_ulp() {
+    // Below x ≈ -708.396 the true exp is subnormal; the band down to the
+    // flush-to-zero cutoff at x ≈ -745.13 must still honour the ULP bound.
+    // -708.4 is the spec's named edge.
+    let mut x = -745.1;
+    while x <= -708.0 {
+        assert_within_2_ulp(x);
+        x += 0.001;
+    }
+    assert_within_2_ulp(-708.4);
+    assert_within_2_ulp(-708.396_418_532_264_078); // the subnormal threshold
+    assert_within_2_ulp(-745.133_219_101_941_108_7); // the smallest-subnormal edge
+}
+
+#[test]
+fn deep_underflow_flushes_to_zero() {
+    for x in [-745.14, -746.0, -1e3, -1e6, -1e300, f64::MIN] {
+        assert_eq!(vexp_scalar(x), 0.0, "x={x:e}");
+        assert_eq!(x.exp(), 0.0, "libm disagrees at x={x:e}");
+    }
+}
+
+#[test]
+fn chunk_remainder_lengths_match_the_scalar_path() {
+    // Results must be position-independent: for every remainder length 0–7
+    // (and a couple of full-chunk sizes) the in-place buffer pass must equal
+    // element-wise `vexp_scalar` exactly.
+    let pool: Vec<f64> = vec![
+        0.0,
+        -0.5,
+        -1.0,
+        -7.25,
+        -100.0,
+        -708.4,
+        -745.0,
+        f64::NEG_INFINITY,
+        0.3,
+        -1e-12,
+        -300.7,
+        -42.0,
+        -0.0,
+        -650.1,
+        -13.37,
+        -2.5,
+        -555.5,
+        -1e-300,
+        -99.99,
+        -708.396,
+        -0.125,
+        -17.0,
+        -3.5,
+    ];
+    for len in (0..=VEXP_LANES - 1).chain([VEXP_LANES, 2 * VEXP_LANES, pool.len()]) {
+        let mut buf: Vec<f64> = pool.iter().copied().take(len).collect();
+        let want: Vec<f64> = buf.iter().map(|&v| vexp_scalar(v)).collect();
+        vexp(&mut buf);
+        assert_eq!(
+            buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "length {len}"
+        );
+    }
+}
+
+#[test]
+fn nan_stays_nan_inside_a_chunk() {
+    let mut buf = [-1.0, f64::NAN, -2.0, 0.0, f64::NAN, -708.4, -0.5, -3.0];
+    vexp(&mut buf);
+    assert!(buf[1].is_nan());
+    assert!(buf[4].is_nan());
+    assert_eq!(buf[0], vexp_scalar(-1.0));
+    assert_eq!(buf[5], vexp_scalar(-708.4));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The ≤2 ULP bound over the fold-pass input domain: the shifted
+    /// log-integrand is ≤ 0 up to the coarse-bracketing spill-over, and its
+    /// useful dynamic range runs down to the flush-to-zero cutoff. Sample
+    /// both linearly (the common near-peak regime) and log-magnitude
+    /// (exercising every binade down to the subnormal band).
+    #[test]
+    fn vexp_within_2_ulp_of_libm(
+        linear in -750.0..1.0f64,
+        log_mag in -30.0f64..9.6,
+        sign_bias in 0u8..8,
+    ) {
+        let x = linear;
+        let got = vexp_scalar(x);
+        let want = x.exp();
+        prop_assert!(
+            ulp_diff(got, want) <= 2,
+            "x={x:e}: vexp {got:e} vs libm {want:e} ({} ulp)", ulp_diff(got, want)
+        );
+
+        // Magnitude sweep: |x| from 1e-30 up to ~e^9.6 ≈ 745, mostly negative
+        // (the fold-pass domain) with an occasional small positive.
+        let mag = log_mag.exp();
+        let x = if sign_bias == 0 { mag.min(0.9) } else { -mag };
+        let got = vexp_scalar(x);
+        let want = x.exp();
+        prop_assert!(
+            ulp_diff(got, want) <= 2,
+            "x={x:e}: vexp {got:e} vs libm {want:e} ({} ulp)", ulp_diff(got, want)
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end equivalence of the quadrature math modes at the estimator and
+//! selection layers.
+//!
+//! `QuadratureMath::FastVector` perturbs each quadrature cell by ~1e-12
+//! relative against the pinned `Exact` path. At the selection layer that
+//! perturbation must be invisible: the CPE strategy run on the reproduction
+//! datasets must select the **same workers in the same order** under both
+//! modes (scores are separated by far more than the fold-pass drift), and the
+//! Table-4-style accuracy metrics must agree exactly once the selections
+//! agree. Batch predictions agree to the propagated cell tolerance.
+
+use c4u_crowd_sim::{generate, DatasetConfig, Platform};
+use c4u_selection::{
+    evaluate_strategy, CpeObservation, CrossDomainEstimator, CrossDomainSelector, QuadratureMath,
+    SelectorConfig,
+};
+
+fn config_with(math: QuadratureMath) -> SelectorConfig {
+    let mut config = SelectorConfig::default();
+    config.cpe.epochs = 5; // keep the end-to-end runs quick
+    config.cpe.quadrature_math = math;
+    config
+}
+
+#[test]
+fn fast_vector_selects_the_same_workers() {
+    for dataset_config in [DatasetConfig::rw1(), DatasetConfig::rw2()] {
+        let dataset = generate(&dataset_config).unwrap();
+        for seed in [3u64, 11, 27] {
+            let exact = evaluate_strategy(
+                &dataset,
+                &CrossDomainSelector::new(config_with(QuadratureMath::Exact)),
+                seed,
+            )
+            .unwrap();
+            let fast = evaluate_strategy(
+                &dataset,
+                &CrossDomainSelector::new(config_with(QuadratureMath::FastVector)),
+                seed,
+            )
+            .unwrap();
+            assert_eq!(
+                exact.selected, fast.selected,
+                "{} seed {seed}: selections diverged",
+                dataset_config.name
+            );
+            // Identical selections on the same platform seed imply identical
+            // realised and expected working accuracies.
+            assert_eq!(exact.working_accuracy, fast.working_accuracy);
+            assert_eq!(exact.expected_accuracy, fast.expected_accuracy);
+            assert_eq!(exact.budget_spent, fast.budget_spent);
+        }
+    }
+}
+
+#[test]
+fn fast_vector_estimator_predictions_track_exact() {
+    // A trained estimator pair over the same observation stream: predictions
+    // must agree to well below any score gap the selector ranks on.
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    let platform = Platform::from_dataset(&dataset, 7).unwrap();
+    let profiles = platform.profiles();
+    let observations: Vec<CpeObservation> = profiles
+        .iter()
+        .enumerate()
+        .map(|(w, p)| CpeObservation {
+            prior_accuracies: (0..p.num_domains()).map(|d| p.accuracy(d)).collect(),
+            correct: 3 + (w % 5),
+            wrong: 7 - (w % 5),
+        })
+        .collect();
+
+    let mut estimators = [QuadratureMath::Exact, QuadratureMath::FastVector].map(|math| {
+        let mut config = config_with(math).cpe;
+        config.epochs = 10;
+        CrossDomainEstimator::from_profiles(&profiles, config).unwrap()
+    });
+    for est in &mut estimators {
+        est.update(&observations).unwrap();
+    }
+    let [exact, fast] = estimators;
+    let p_e = exact.predict_batch(&observations).unwrap();
+    let p_f = fast.predict_batch(&observations).unwrap();
+    for (w, (&e, &f)) in p_e.iter().zip(&p_f).enumerate() {
+        assert!(
+            (e - f).abs() <= 1e-9,
+            "worker {w}: prediction {e} vs {f} diverged beyond the math-mode drift"
+        );
+    }
+}
