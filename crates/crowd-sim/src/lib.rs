@@ -46,7 +46,6 @@
 //! assert!(platform.expected_working_accuracy(&ids).unwrap() > 0.5);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod config;

@@ -18,6 +18,11 @@
 //!   `BktStage` runs one per worker as an ablation of the learner-model choice,
 //!   seeded through [`BktParams::mastery_for_accuracy`].
 //!
+//! Everything here reaches the pipeline through the **stage seam**
+//! (`EstimationStage` in `c4u-selection`, per ARCHITECTURE.md): `LgeStage`,
+//! `BktStage`, and `RaschStage` wrap these models as stages, so this crate
+//! stays a pure model library with no selection-loop dependencies.
+//!
 //! The Learning Gain Estimation consumes the calibration through
 //! `c4u_selection::LgeStage` (fitting against the CPE estimate history) and
 //! `c4u_selection::RaschStage` (fitting against raw observed sheet accuracies);
@@ -39,7 +44,6 @@
 //! assert!(model.accuracy(70.0) > 0.8);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod bkt;

@@ -172,6 +172,7 @@ impl Cholesky {
     pub fn reconstruct(&self) -> Matrix {
         self.l
             .matmul(&self.l.transpose())
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "L and L^T conform by construction of the factorisation")
             .expect("L and L^T always conform")
     }
 }

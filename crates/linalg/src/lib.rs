@@ -33,7 +33,6 @@
 //! assert!((back[0] - 1.0).abs() < 1e-12 && (back[1] - 1.0).abs() < 1e-12);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod cholesky;

@@ -1,0 +1,43 @@
+//! Driver binary: lints the whole workspace and exits non-zero on any
+//! deny-severity finding. `cargo run -p c4u-lint` from anywhere in the
+//! tree; set `C4U_LINT_ROOT` to lint a different checkout.
+
+#![forbid(unsafe_code)]
+
+use c4u_lint::diag::Severity;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(root) = c4u_lint::walk::workspace_root() else {
+        eprintln!("c4u-lint: could not locate the workspace root (set C4U_LINT_ROOT)");
+        return ExitCode::FAILURE;
+    };
+    let mut files = 0usize;
+    let mut denies = 0usize;
+    let mut warns = 0usize;
+    for (rel, source, diags) in c4u_lint::run_workspace(&root) {
+        let _ = rel;
+        files += 1;
+        let lines: Vec<&str> = source.lines().collect();
+        for d in diags {
+            match d.severity {
+                Severity::Deny => denies += 1,
+                Severity::Warn => warns += 1,
+            }
+            let src_line = lines.get((d.line as usize).saturating_sub(1)).copied();
+            print!("{}", d.render(src_line));
+            println!();
+        }
+    }
+    if denies == 0 && warns == 0 {
+        println!("c4u-lint: clean — all workspace invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("c4u-lint: {denies} error(s), {warns} warning(s) across {files} file(s)");
+        if denies > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

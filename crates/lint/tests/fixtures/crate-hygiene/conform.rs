@@ -1,0 +1,5 @@
+//! Fixture crate root: names its seam and forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub fn seam() {}

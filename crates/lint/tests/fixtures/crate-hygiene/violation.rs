@@ -1,0 +1,2 @@
+// A crate root with neither a crate-level doc nor forbid(unsafe_code).
+pub fn seam() {}

@@ -1,0 +1,5 @@
+//! Documentation may mention `// c4u-lint: allow(no-wallclock, reason = "…")`
+//! without it being parsed as a directive.
+//! c4u-lint: hot-path
+/// c4u-lint: allow(bogus-rule, reason = "doc prose, not a directive")
+fn documented() {}

@@ -1,0 +1,13 @@
+// Fixture: every way a directive can go wrong.
+// c4u-lint: allow(no-such-rule, reason = "x")
+fn a() {}
+// c4u-lint: allow(no-wallclock)
+fn b() {}
+// c4u-lint: allow(no-wallclock, reason = )
+fn c() {}
+// c4u-lint: frobnicate
+fn d() {}
+// c4u-lint: end-hot-path
+fn e() {}
+// c4u-lint: hot-path
+fn f() {}

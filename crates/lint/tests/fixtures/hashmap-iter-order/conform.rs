@@ -1,0 +1,20 @@
+// Fixture: ordered maps, point lookups, and containers of maps are fine.
+fn tally(scores: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for entry in scores {
+        total += entry.1;
+    }
+    total
+}
+
+fn lookup(cache: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    cache.get(key).copied()
+}
+
+fn per_shard(shards: &Vec<HashMap<u32, f64>>) -> usize {
+    let mut n = 0;
+    for shard in shards {
+        n += shard.len();
+    }
+    n
+}

@@ -1,0 +1,5 @@
+// Fixture: order-insensitive reduction, suppressed with a reason.
+fn count_filled(slots: &HashMap<String, Option<u64>>) -> usize {
+    // c4u-lint: allow(hashmap-iter-order, reason = "count is order-insensitive")
+    slots.values().filter(|slot| slot.is_some()).count()
+}

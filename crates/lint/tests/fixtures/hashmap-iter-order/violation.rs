@@ -1,0 +1,12 @@
+// Fixture: unordered-map iteration in determinism-contract code.
+fn tally(scores: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for entry in scores {
+        total += entry.1;
+    }
+    total
+}
+
+fn collect(index: HashMap<String, u64>) -> Vec<u64> {
+    index.values().copied().collect()
+}

@@ -1,0 +1,6 @@
+// Fixture: suppression with a reason is honoured.
+fn entropy_probe() -> f64 {
+    // c4u-lint: allow(no-ambient-rng, reason = "diagnostic probe is outside the reproducibility contract")
+    let mut rng = thread_rng();
+    rng.gen()
+}

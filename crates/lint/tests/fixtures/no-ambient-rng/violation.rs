@@ -1,0 +1,5 @@
+// Fixture: ambient OS entropy in library code.
+fn simulate() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

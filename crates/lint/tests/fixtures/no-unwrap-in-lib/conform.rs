@@ -1,0 +1,12 @@
+// Fixture: typed errors in library code; unwrap confined to tests.
+fn head(values: &[f64]) -> Result<f64, Error> {
+    values.first().copied().ok_or(Error::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn head_of_one() {
+        assert_eq!(super::head(&[1.0]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: infallible-by-construction expect, suppressed with a reason.
+fn middle(values: &[f64]) -> f64 {
+    let idx = values.len() / 2;
+    // c4u-lint: allow(no-unwrap-in-lib, reason = "idx < len by construction")
+    *values.get(idx).expect("midpoint exists")
+}

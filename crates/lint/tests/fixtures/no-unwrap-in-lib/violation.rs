@@ -1,0 +1,9 @@
+// Fixture: panicking extraction in numerical library code.
+fn head(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    *first
+}
+
+fn checked(values: &[f64]) -> f64 {
+    *values.last().expect("non-empty")
+}

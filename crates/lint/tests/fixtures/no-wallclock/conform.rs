@@ -1,0 +1,4 @@
+// Fixture: spans of time are data; reading the clock is the side effect.
+fn backoff(step: u32) -> Duration {
+    Duration::from_millis(u64::from(step) * 10)
+}

@@ -1,0 +1,6 @@
+// Fixture: suppression with a reason is honoured.
+fn trace() {
+    // c4u-lint: allow(no-wallclock, reason = "log timestamp never feeds back into results")
+    let now = SystemTime::now();
+    let _ = now;
+}

@@ -1,0 +1,5 @@
+// Fixture: wall-clock read outside crates/bench.
+fn measure() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+// Fixture: scalar libm outside the region, vectorised math inside it.
+fn log_prior(p: f64) -> f64 {
+    p.ln()
+}
+
+// c4u-lint: hot-path
+fn fold(buf: &mut [f64]) -> f64 {
+    vexp(buf);
+    buf.iter().sum()
+}
+// c4u-lint: end-hot-path

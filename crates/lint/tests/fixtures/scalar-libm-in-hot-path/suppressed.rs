@@ -1,0 +1,11 @@
+// Fixture: a pinned-exact fold inside the region, suppressed with a reason.
+// c4u-lint: hot-path
+fn fold_exact(terms: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &t in terms {
+        // c4u-lint: allow(scalar-libm-in-hot-path, reason = "exact mode is bit-pinned to libm")
+        acc += t.exp();
+    }
+    acc
+}
+// c4u-lint: end-hot-path

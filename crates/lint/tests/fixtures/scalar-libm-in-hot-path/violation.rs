@@ -1,0 +1,10 @@
+// Fixture: scalar libm inside a marked hot region.
+// c4u-lint: hot-path
+fn fold(terms: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &t in terms {
+        acc += t.exp();
+    }
+    acc
+}
+// c4u-lint: end-hot-path

@@ -17,6 +17,11 @@
 //! 3. the Li et al. baseline, plain multiple linear regression on historical
 //!    profiles, provided by [`LinearRegression`].
 //!
+//! This crate owns the **oracle seam** (per ARCHITECTURE.md): consumers hand
+//! the descent driver a [`GradientOracle`] implementation, which is how the
+//! selection crate swaps its analytic Eq. 6–7 gradients in over the
+//! [`FiniteDifference`] cross-check without this crate knowing about CPE.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,7 +41,6 @@
 //! assert!(result.objective < 1e-3);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod error;

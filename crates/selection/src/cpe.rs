@@ -418,6 +418,7 @@ impl CrossDomainEstimator {
         let mut predictions = self.predict_batch(std::slice::from_ref(obs))?;
         Ok(predictions
             .pop()
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "predict_batch on one observation returns exactly one prediction")
             .expect("one observation yields one prediction"))
     }
 

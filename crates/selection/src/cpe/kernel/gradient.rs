@@ -335,6 +335,7 @@ impl<'k> AnalyticCpeOracle<'k> {
                 },
             });
         }
+        // c4u-lint: allow(no-unwrap-in-lib, reason = "the memo slot was filled on the lines above")
         read(slot.as_ref().expect("memo was just filled"))
     }
 }

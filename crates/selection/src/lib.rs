@@ -47,7 +47,6 @@
 //! assert!(result.working_accuracy > 0.0);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod baselines;

@@ -282,8 +282,11 @@ impl BinomialNormalBatch {
         // the padding lets the per-worker `log_max` scans run lane chunks
         // only — no serial scalar-remainder dependency chain at the tail.
         while !grid_hc.len().is_multiple_of(VEXP_LANES) {
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "the bracketing grid was just checked non-empty")
             grid_hc.push(*grid_hc.last().expect("bracketing grid is non-empty"));
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "the bracketing grid was just checked non-empty")
             grid_lh.push(*grid_lh.last().expect("bracketing grid is non-empty"));
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "the bracketing grid was just checked non-empty")
             grid_l1h.push(*grid_l1h.last().expect("bracketing grid is non-empty"));
         }
         Self {
@@ -637,6 +640,7 @@ impl BinomialNormalBatch {
     /// Marked `#[inline]` for the same reason as [`vexp`]: one call per
     /// worker from the hot batch loops, where the call boundary would spill
     /// the loop's live vector registers.
+    // c4u-lint: hot-path
     #[inline]
     fn grid_max_approx(&self, mu: f64, c: f64, x: f64, inv_sigma: f64, k: f64) -> f64 {
         let alpha = -0.5 * inv_sigma * inv_sigma;
@@ -754,6 +758,7 @@ impl BinomialNormalBatch {
     fn fold_z_exact(&self, scratch: &[f64]) -> f64 {
         let mut sum_z = 0.0;
         for (t, w) in scratch.iter().zip(&self.node_w) {
+            // c4u-lint: allow(scalar-libm-in-hot-path, reason = "Exact-mode fold: QuadratureMath::Exact is contractually bit-pinned to scalar libm exp")
             sum_z += w * t.exp();
         }
         sum_z
@@ -820,6 +825,7 @@ impl BinomialNormalBatch {
         let mut sum_z = 0.0;
         let mut sum_m = 0.0;
         for ((t, w), h) in scratch.iter().zip(&self.node_w).zip(&self.node_h) {
+            // c4u-lint: allow(scalar-libm-in-hot-path, reason = "Exact-mode fold: QuadratureMath::Exact is contractually bit-pinned to scalar libm exp")
             let e = t.exp();
             sum_z += w * e;
             sum_m += w * (h * e);
@@ -854,7 +860,9 @@ impl BinomialNormalBatch {
             // length-8 slices) is the shape LLVM widens into clean packed
             // multiply-adds across the chunk instead of pairing the two
             // accumulators per node into element shuffles.
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "chunks_exact yields slices of exactly the requested width")
             let w: &[f64; VEXP_LANES] = w.try_into().expect("chunks_exact width");
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "chunks_exact yields slices of exactly the requested width")
             let h: &[f64; VEXP_LANES] = h.try_into().expect("chunks_exact width");
             for j in 0..VEXP_LANES {
                 buf[j] *= w[j];
@@ -887,6 +895,7 @@ impl BinomialNormalBatch {
     fn fold_gradient_exact(&self, scratch: &[f64], mu: f64) -> (f64, f64, f64) {
         let (mut z0, mut z1, mut z2) = (0.0, 0.0, 0.0);
         for ((t, hc), wf) in scratch.iter().zip(&self.node_hc).zip(&self.node_wf) {
+            // c4u-lint: allow(scalar-libm-in-hot-path, reason = "Exact-mode fold: QuadratureMath::Exact is contractually bit-pinned to scalar libm exp")
             let e = wf * t.exp();
             let d = hc - mu;
             z0 += e;
@@ -961,6 +970,7 @@ impl BinomialNormalBatch {
             Self::hsum_lanes(a2),
         )
     }
+    // c4u-lint: end-hot-path
 }
 
 #[cfg(test)]

@@ -238,16 +238,14 @@ pub struct Summary {
 impl Summary {
     /// Computes the summary of `data`; returns an error for an empty slice.
     pub fn of(data: &[f64]) -> Result<Self, StatsError> {
-        if data.is_empty() {
-            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
-        }
+        let empty = || StatsError::NotEnoughData { needed: 1, got: 0 };
         Ok(Self {
             count: data.len(),
             mean: mean(data),
             std_dev: std_dev(data),
-            min: min(data).unwrap(),
-            max: max(data).unwrap(),
-            median: median(data).unwrap(),
+            min: min(data).ok_or_else(empty)?,
+            max: max(data).ok_or_else(empty)?,
+            median: median(data).ok_or_else(empty)?,
         })
     }
 }

@@ -47,7 +47,6 @@
 //! assert!(cond.mean > 0.55);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod batch;

@@ -232,7 +232,9 @@ impl MultivariateNormal {
             .chol
             .l()
             .matvec(&z)
+            // c4u-lint: allow(no-unwrap-in-lib, reason = "factor and sample dimensions agree by construction")
             .expect("Cholesky factor conforms with z");
+        // c4u-lint: allow(no-unwrap-in-lib, reason = "mean and product dimensions agree by construction")
         self.mean.add(&lz).expect("dimensions conform")
     }
 

@@ -110,6 +110,7 @@ const TAYLOR_TAIL: [f64; 12] = [
 const OVERFLOW_CLAMP: f64 = 710.0;
 const UNDERFLOW_CLAMP: f64 = -746.0;
 
+// c4u-lint: hot-path
 /// Scalar reference arithmetic of the lane-chunked [`vexp`] — every element
 /// of a chunked buffer produces exactly this value (see the module docs for
 /// the ≤2 ULP contract and edge-case semantics).
@@ -205,6 +206,7 @@ pub fn vexp(values: &mut [f64]) {
         *v = vexp_scalar(*v);
     }
 }
+// c4u-lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

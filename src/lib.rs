@@ -19,7 +19,6 @@
 //! `README.md` for the full layout and `ARCHITECTURE.md` for the crate map,
 //! the extension seams, and the data flow of one selection run.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 /// Compiles and runs every Rust code block of the workspace `README.md` as a

@@ -11,7 +11,6 @@
 //! honest but simple. Bench targets must set `harness = false` (the real
 //! criterion requires the same).
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};

@@ -15,7 +15,6 @@
 //! implementation guarantees: the same seed always yields the same sequence, on
 //! every platform, forever.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 /// Types drawn uniformly by [`Rng::gen`] (the "standard" distribution).
