@@ -1,0 +1,240 @@
+//! Wall-clock overhead of the async shard service on large worker pools.
+//!
+//! ROADMAP's service seam promises that moving the Algorithm-4 round loop
+//! behind the [`ShardService`] queue/executor machinery costs coordination
+//! only — the shard work itself is identical. This bench quantifies that
+//! promise at the `10^5`–`10^6` worker scale the sharded platform targets:
+//! for every `(workers, shards, executors)` cell it times one full learning
+//! round (every worker answers a golden batch) through
+//! [`Platform::assign_learning_batch_sharded`] and through
+//! [`ShardService::assign_learning_batch`], on identical pristine platform
+//! clones. Reported per cell:
+//!
+//! * median wall-clock of each path (self-timed; medians are robust to the
+//!   1-core container's scheduling noise),
+//! * service **ns per worker-task** — one answered golden question is the
+//!   unit of round work, and the quantity the trajectory gate bounds,
+//! * the **overhead** multiple of the service over the in-process path
+//!   (queue hand-off, executor wake-ups, and worker-order merging).
+//!
+//! Correctness gates before any timing: on every cell the service round must
+//! reproduce the in-process [`RoundRecord`] **exactly** — the transport
+//! equivalence pin, re-checked at bench scale.
+//!
+//! ```bash
+//! cargo bench -p c4u-bench --bench service
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `C4U_SERVICE_BENCH_WORKERS` — comma-separated pool sizes (default
+//!   `100000,1000000`);
+//! * `C4U_SERVICE_BENCH_SHARDS` — comma-separated shard counts (default `8`);
+//! * `C4U_SERVICE_BENCH_EXECUTORS` — comma-separated executor-pool sizes
+//!   (default `1,4`);
+//! * `C4U_SERVICE_BENCH_TASKS` — golden questions per worker per round
+//!   (default `10`);
+//! * `C4U_SERVICE_BENCH_SAMPLES` — timing samples per cell (default 5; the
+//!   median is reported);
+//! * `C4U_SERVICE_REPORT` — trajectory-file path (default
+//!   `BENCH_service.json` at the workspace root; empty disables writing);
+//! * `C4U_BENCH_GATE` — set to `1` to fail (exit non-zero) when any cell
+//!   regresses more than 25% in service ns per worker-task against the
+//!   newest run of the committed trajectory (`C4U_SERVICE_BASELINE`
+//!   overrides the baseline file). The baseline is loaded **before** this
+//!   run is appended.
+//!
+//! [`ShardService`]: c4u_service::ShardService
+//! [`ShardService::assign_learning_batch`]: c4u_service::ShardService::assign_learning_batch
+//! [`Platform::assign_learning_batch_sharded`]: c4u_crowd_sim::Platform::assign_learning_batch_sharded
+//! [`RoundRecord`]: c4u_crowd_sim::RoundRecord
+
+use c4u_bench::{
+    append_service_run, bench_gate_enabled, gate_service_cells, latest_service_baseline,
+    render_service_run, service_baseline_path, service_report_path, ServiceCell,
+};
+use c4u_crowd_sim::{generate, DatasetConfig, Platform, WorkerShards};
+use c4u_service::{ServiceConfig, ShardService};
+use std::time::Instant;
+
+/// Parses a comma-separated `usize` list from the environment.
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) if !raw.is_empty() => raw
+            .split(',')
+            .filter_map(|v| v.trim().parse().ok())
+            .filter(|&v| v > 0)
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// The large-pool dataset: S-1 accuracy moments, scaled pool (the
+/// `platform_shards` bench's S-XL shape, pool size swept).
+fn pool_config(workers: usize) -> DatasetConfig {
+    let mut config = DatasetConfig::s1();
+    config.name = format!("S-SVC-{workers}");
+    config.pool_size = workers;
+    config.select_k = 100.min(workers);
+    config.working_tasks = 50;
+    config
+}
+
+/// Median of a sample vector (sorted in place).
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let workers_sweep = env_list("C4U_SERVICE_BENCH_WORKERS", &[100_000, 1_000_000]);
+    let shards_sweep = env_list("C4U_SERVICE_BENCH_SHARDS", &[8]);
+    let executors_sweep = env_list("C4U_SERVICE_BENCH_EXECUTORS", &[1, 4]);
+    let tasks = env_usize("C4U_SERVICE_BENCH_TASKS", 10);
+    let samples = env_usize("C4U_SERVICE_BENCH_SAMPLES", 5);
+
+    // Baseline first: when the gate is armed, the comparison target is the
+    // newest run already on file — before this run is appended to it.
+    let gate = bench_gate_enabled();
+    let baseline = if gate {
+        let path = service_baseline_path();
+        let loaded = latest_service_baseline(&path);
+        if loaded.is_none() {
+            println!(
+                "gate armed but no baseline run at {} — skipping",
+                path.display()
+            );
+        }
+        loaded
+    } else {
+        None
+    };
+
+    println!("Async shard service vs in-process sharded round loop");
+    println!(
+        "({tasks} golden questions per worker, {samples} samples per cell, medians reported)\n"
+    );
+    println!(
+        "  {:>9} {:>6} {:>7} {:>9} {:>14} {:>14} {:>10} {:>9}",
+        "workers",
+        "tasks",
+        "shards",
+        "executors",
+        "service ns",
+        "in-proc ns",
+        "ns/(w*t)",
+        "overhead"
+    );
+
+    let mut cells = Vec::new();
+    for &workers in &workers_sweep {
+        let dataset = generate(&pool_config(workers)).expect("valid pool dataset");
+        let pristine = Platform::from_dataset(&dataset, 11).expect("platform");
+        let ids = pristine.worker_ids();
+
+        for &num_shards in &shards_sweep {
+            let shards = WorkerShards::by_count(ids.len(), num_shards);
+
+            // The in-process reference: the record every layout must
+            // reproduce, and the baseline the overhead column divides by.
+            let reference = pristine
+                .clone()
+                .assign_learning_batch_sharded(&ids, tasks, &shards)
+                .expect("reference round");
+            let mut in_process_ns = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut p = pristine.clone();
+                let start = Instant::now();
+                let record = p
+                    .assign_learning_batch_sharded(&ids, tasks, &shards)
+                    .expect("in-process round");
+                in_process_ns.push(start.elapsed().as_nanos() as f64);
+                assert_eq!(record, reference, "in-process round drifted");
+            }
+            let in_process_median_ns = median_ns(&mut in_process_ns);
+
+            for &executors in &executors_sweep {
+                let service = ShardService::new(ServiceConfig::default().with_executors(executors));
+
+                // Correctness gate before any timing: the service round must
+                // be bit-identical to the in-process reference on this cell.
+                let mut gate_platform = pristine.clone();
+                let record = service
+                    .assign_learning_batch(&mut gate_platform, &ids, tasks, &shards)
+                    .expect("service round");
+                assert_eq!(
+                    record, reference,
+                    "service round diverged from the in-process reference \
+                     (workers={workers} shards={num_shards} executors={executors})"
+                );
+
+                let mut service_ns = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let mut p = pristine.clone();
+                    let start = Instant::now();
+                    let record = service
+                        .assign_learning_batch(&mut p, &ids, tasks, &shards)
+                        .expect("service round");
+                    service_ns.push(start.elapsed().as_nanos() as f64);
+                    assert_eq!(record, reference, "service round drifted");
+                }
+
+                let cell = ServiceCell {
+                    workers,
+                    tasks,
+                    shards: num_shards,
+                    executors,
+                    service_median_ns: median_ns(&mut service_ns),
+                    in_process_median_ns,
+                };
+                println!(
+                    "  {:>9} {:>6} {:>7} {:>9} {:>14.0} {:>14.0} {:>10.2} {:>8.2}x",
+                    cell.workers,
+                    cell.tasks,
+                    cell.shards,
+                    cell.executors,
+                    cell.service_median_ns,
+                    cell.in_process_median_ns,
+                    cell.ns_per_worker_task(),
+                    cell.overhead()
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    match service_report_path() {
+        Some(path) => {
+            let line = render_service_run(&cells);
+            match append_service_run(&path, &line) {
+                Ok(()) => println!("\nappended run to {}", path.display()),
+                Err(err) => eprintln!("\nwarning: could not write {}: {err}", path.display()),
+            }
+        }
+        None => println!("\nreport writing disabled (C4U_SERVICE_REPORT is empty)"),
+    }
+
+    if let Some(baseline) = baseline {
+        let violations = gate_service_cells(&baseline, &cells);
+        if violations.is_empty() {
+            println!("gate: all matching cells within the regression limit");
+        } else {
+            eprintln!(
+                "gate: {} cell(s) regressed beyond the limit:",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

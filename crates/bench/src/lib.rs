@@ -48,10 +48,12 @@ pub mod report;
 
 pub use cache::{cell_cache_dir, SweepStats, CELL_CACHE_ENV};
 pub use report::{
-    append_quadrature_run, bench_gate_enabled, gate_quadrature_cells, latest_quadrature_baseline,
-    math_tag, parse_quadrature_run, quadrature_baseline_path, quadrature_report_path,
-    render_quadrature_run, QuadratureCell, BENCH_GATE_ENV, GATE_REGRESSION_LIMIT,
-    QUADRATURE_BASELINE_ENV,
+    append_quadrature_run, append_service_run, bench_gate_enabled, gate_quadrature_cells,
+    gate_service_cells, latest_quadrature_baseline, latest_service_baseline, math_tag,
+    parse_quadrature_run, parse_service_run, quadrature_baseline_path, quadrature_report_path,
+    render_quadrature_run, render_service_run, service_baseline_path, service_report_path,
+    QuadratureCell, ServiceCell, BENCH_GATE_ENV, GATE_REGRESSION_LIMIT, QUADRATURE_BASELINE_ENV,
+    SERVICE_BASELINE_ENV,
 };
 
 use c4u_crowd_sim::{generate, Dataset, DatasetConfig, SimError};
@@ -196,6 +198,24 @@ impl StrategyKind {
             StrategyKind::BktOnly => "BKT",
             StrategyKind::RaschCalibrated => "Rasch",
             StrategyKind::CpeBktEnsemble => "CPE+BKT",
+        }
+    }
+
+    /// Relative evaluation cost of the strategy (higher = more expensive),
+    /// used by [`sweep_schedule`] to start the slowest cells first. The ranks
+    /// order the per-round work: a full CPE gradient ascent dominates
+    /// everything, the single-model IRT/LGE stages cost a fraction of it, and
+    /// the non-learning baselines are near-free.
+    pub fn cost_rank(self) -> u8 {
+        match self {
+            StrategyKind::Ours => 5,
+            StrategyKind::CpeBktEnsemble => 4,
+            StrategyKind::MeCpe => 3,
+            StrategyKind::LgeOnly | StrategyKind::RaschCalibrated => 2,
+            StrategyKind::BktOnly | StrategyKind::LiEtAl => 1,
+            StrategyKind::UniformSampling
+            | StrategyKind::MedianElimination
+            | StrategyKind::GroundTruth => 0,
         }
     }
 
@@ -406,39 +426,63 @@ pub fn evaluate_cells(specs: &[CellSpec]) -> Vec<Cell> {
 /// nothing written); pass [`cell_cache_dir()`] to honour `C4U_CELL_CACHE` the
 /// way the bench targets do. The returned [`SweepStats`] reports the hit/miss
 /// split (a fully warmed cache re-evaluates zero cells).
+///
+/// Scheduling: a sequential cache pre-pass answers every hit before any
+/// worker thread spins up, so only the misses reach the work queue — and they
+/// reach it in [`sweep_schedule`] order (expensive strategies first), so the
+/// slowest cell is never the last job started on an otherwise idle pool. The
+/// scheduling is invisible in the output: cells always come back in spec
+/// order.
 pub fn evaluate_cells_resumable(
     specs: &[CellSpec],
     cache_dir: Option<&Path>,
 ) -> (Vec<Cell>, SweepStats) {
+    // Cache pre-pass: hits cost one file read each; fanning them out would
+    // spend more on thread choreography than on the reads themselves, and a
+    // fully warmed sweep must evaluate zero cells.
+    let mut slots: Vec<Option<Cell>> = vec![None; specs.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (index, spec) in specs.iter().enumerate() {
+        match cache_dir.and_then(|dir| cache::load_cell(dir, spec)) {
+            Some(hit) => slots[index] = Some(hit),
+            None => misses.push(index),
+        }
+    }
+    let stats = SweepStats {
+        hits: specs.len() - misses.len(),
+        misses: misses.len(),
+    };
+    let misses = sweep_schedule(specs, misses);
     let threads = c4u_crowd_sim::parallel::available_threads();
-    let result: Result<Vec<(Cell, bool)>, Infallible> =
-        c4u_selection::run_indexed_jobs(threads, specs.len(), |index| {
+    let result: Result<Vec<(usize, Cell)>, Infallible> =
+        c4u_selection::run_indexed_jobs(threads, misses.len(), |job| {
+            let index = misses[job];
             let spec = &specs[index];
-            if let Some(dir) = cache_dir {
-                if let Some(hit) = cache::load_cell(dir, spec) {
-                    return Ok((hit, true));
-                }
-            }
             let cell = evaluate_cell(spec);
             if let Some(dir) = cache_dir {
                 cache::store_cell(dir, spec, &cell);
             }
-            Ok((cell, false))
+            Ok((index, cell))
         });
-    let Ok(outcomes) = result;
-    let mut stats = SweepStats::default();
-    let cells = outcomes
+    let Ok(evaluated) = result;
+    for (index, cell) in evaluated {
+        slots[index] = Some(cell);
+    }
+    let cells = slots
         .into_iter()
-        .map(|(cell, hit)| {
-            if hit {
-                stats.hits += 1;
-            } else {
-                stats.misses += 1;
-            }
-            cell
-        })
+        .map(|slot| slot.expect("every spec is a hit or a scheduled miss"))
         .collect();
     (cells, stats)
+}
+
+/// Orders a sweep's cache-miss indices for the work queue: most expensive
+/// strategy first ([`StrategyKind::cost_rank`]), original spec index as the
+/// stable tie-break. Longest-processing-time-first keeps the pool busy: the
+/// costly `Ours`/ensemble cells start while the trivial baselines fill the
+/// gaps, instead of a full CPE run starting last on an idle pool.
+pub fn sweep_schedule(specs: &[CellSpec], mut misses: Vec<usize>) -> Vec<usize> {
+    misses.sort_by_key(|&index| (std::cmp::Reverse(specs[index].strategy.cost_rank()), index));
+    misses
 }
 
 /// Formats a dataset-by-strategy accuracy table (rows = strategies, columns =

@@ -3,7 +3,10 @@
 //! from disk (zero re-evaluated cells) with bit-for-bit identical results, and
 //! any change to a cell's identity is a miss.
 
-use c4u_bench::{cache, evaluate_cells_resumable, CellSpec, StrategyKind, SweepStats};
+use c4u_bench::{
+    cache, evaluate_cell, evaluate_cells_resumable, sweep_schedule, CellSpec, StrategyKind,
+    SweepStats,
+};
 use c4u_crowd_sim::DatasetConfig;
 use std::path::PathBuf;
 
@@ -150,6 +153,65 @@ fn corrupted_cache_files_degrade_to_misses() {
     );
 
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweep_schedule_starts_expensive_strategies_first() {
+    // A mixed line-up: the scheduler must start the costly CPE-backed cells
+    // before the near-free baselines, breaking rank ties by spec index.
+    let mut config = DatasetConfig::rw1();
+    config.pool_size = 10;
+    config.select_k = 3;
+    let specs: Vec<CellSpec> = [
+        StrategyKind::UniformSampling,   // rank 0
+        StrategyKind::Ours,              // rank 5
+        StrategyKind::MedianElimination, // rank 0
+        StrategyKind::MeCpe,             // rank 3
+        StrategyKind::Ours,              // rank 5
+        StrategyKind::LiEtAl,            // rank 1
+    ]
+    .iter()
+    .map(|&s| CellSpec::standard(config.clone(), s, 2, vec![5]))
+    .collect();
+    let order = sweep_schedule(&specs, (0..specs.len()).collect());
+    assert_eq!(order, vec![1, 4, 3, 5, 0, 2]);
+    // A partial miss list keeps its members and the same discipline.
+    let order = sweep_schedule(&specs, vec![0, 2, 3]);
+    assert_eq!(order, vec![3, 0, 2]);
+    // Ranks are ordered as documented: full method > ensemble > ablation >
+    // single-model stages > baselines.
+    assert!(StrategyKind::Ours.cost_rank() > StrategyKind::CpeBktEnsemble.cost_rank());
+    assert!(StrategyKind::CpeBktEnsemble.cost_rank() > StrategyKind::MeCpe.cost_rank());
+    assert!(StrategyKind::MeCpe.cost_rank() > StrategyKind::LiEtAl.cost_rank());
+    assert!(StrategyKind::LiEtAl.cost_rank() > StrategyKind::UniformSampling.cost_rank());
+}
+
+#[test]
+fn scheduling_is_invisible_in_the_output() {
+    // The LPT fan-out changes job start order, never the result: cells come
+    // back in spec order, bit-for-bit equal to sequential evaluation.
+    let mut config = DatasetConfig::rw1();
+    config.pool_size = 10;
+    config.select_k = 3;
+    let specs: Vec<CellSpec> = [
+        StrategyKind::UniformSampling,
+        StrategyKind::LiEtAl,
+        StrategyKind::MedianElimination,
+        StrategyKind::GroundTruth,
+    ]
+    .iter()
+    .map(|&s| CellSpec::standard(config.clone(), s, 2, vec![5, 6]))
+    .collect();
+    let sequential: Vec<_> = specs.iter().map(evaluate_cell).collect();
+    let (scheduled, stats) = evaluate_cells_resumable(&specs, None);
+    assert_eq!(scheduled, sequential);
+    assert_eq!(
+        stats,
+        SweepStats {
+            hits: 0,
+            misses: specs.len()
+        }
+    );
 }
 
 #[test]

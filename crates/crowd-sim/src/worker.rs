@@ -16,6 +16,24 @@ use rand::Rng;
 /// Identifier of a worker inside a pool (dense, 0-based).
 pub type WorkerId = usize;
 
+/// Answers a batch of tasks at the given accuracy: with probability `accuracy`
+/// the gold label is reproduced, otherwise it is flipped.
+///
+/// This is the single answering expression of the whole simulator —
+/// [`SimulatedWorker::answer_tasks`] and the shard-serving requests
+/// ([`crate::AnswerShardRequest`]) both delegate here, so every execution path
+/// (in-process, sharded, remote service) draws the same floats in the same
+/// order and produces bit-for-bit identical answers.
+pub fn answer_with_accuracy<R: Rng + ?Sized>(
+    rng: &mut R,
+    accuracy: f64,
+    gold: &[bool],
+) -> Vec<bool> {
+    gold.iter()
+        .map(|&g| if rng.gen::<f64>() < accuracy { g } else { !g })
+        .collect()
+}
+
 /// How strongly a worker's cross-domain learning aptitude (one standard deviation of
 /// general ability) shifts the logit of their post-training accuracy.
 pub const APTITUDE_GAIN: f64 = 0.6;
@@ -238,15 +256,7 @@ impl SimulatedWorker {
     /// No learning happens here — call [`Self::learn_from_batch`] after revealing the
     /// ground truth of learning tasks.
     pub fn answer_tasks<R: Rng + ?Sized>(&self, rng: &mut R, gold: &[bool]) -> Vec<bool> {
-        gold.iter()
-            .map(|&g| {
-                if rng.gen::<f64>() < self.current_accuracy {
-                    g
-                } else {
-                    !g
-                }
-            })
-            .collect()
+        answer_with_accuracy(rng, self.current_accuracy, gold)
     }
 
     /// Answers a batch of learning tasks, then learns from the revealed ground truth

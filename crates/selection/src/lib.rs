@@ -98,3 +98,6 @@ pub use c4u_crowd_sim::{
     AnswerSheet, Dataset, DatasetConfig, HistoricalProfile, Platform, WorkerId, WorkerShards,
 };
 pub use c4u_irt::{BktModel, BktParams};
+// The shard-service knob types referenced by `SelectorConfig`
+// (service_executors / service_queue / service_delivery).
+pub use c4u_service::{DeliveryOrder, ServiceConfig, ShardService};

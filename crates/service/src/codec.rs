@@ -1,0 +1,613 @@
+//! Length-prefixed, versioned binary codec for shard requests and responses.
+//!
+//! Every frame is `magic (4) · version (1) · kind (1) · payload length
+//! (u32 LE) · payload`. Floats travel as IEEE-754 bit patterns
+//! (`f64::to_bits`, little-endian), so encode→decode is the *identity* on
+//! every value including NaN payloads — the codec can never perturb a number,
+//! which is what keeps the service bit-for-bit equal to the in-process paths.
+//!
+//! Decoding is total: any byte sequence produces either a [`Frame`] or a
+//! typed [`CodecError`], never a panic and never a silently wrong value
+//! (validated constructors — [`AnswerSheet::new`], [`HistoricalProfile::new`]
+//! — gate every reconstructed aggregate). Pinned by the `codec_props`
+//! property suite, which decodes random bytes and round-trips random frames.
+
+use c4u_crowd_sim::{
+    AnswerShardRequest, AnswerSheet, EvaluateShardRequest, HistoricalProfile, WorkerSnapshot,
+};
+use std::fmt;
+
+/// Frame magic: identifies a C4U service frame.
+pub const MAGIC: [u8; 4] = *b"C4US";
+/// Current protocol version. Decoders reject every other version.
+pub const VERSION: u8 = 1;
+/// Fixed byte length of a frame header (magic, version, kind, payload
+/// length).
+pub const HEADER_LEN: usize = 10;
+
+const KIND_ANSWER_REQUEST: u8 = 1;
+const KIND_EVALUATE_REQUEST: u8 = 2;
+const KIND_SHEETS: u8 = 3;
+const KIND_ESTIMATES: u8 = 4;
+const KIND_PROFILES: u8 = 5;
+const KIND_ERROR: u8 = 6;
+
+/// Typed decode/encode failures. Every malformed input maps to one of these —
+/// decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame does not start with the C4U service magic.
+    BadMagic,
+    /// The frame's protocol version is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The frame kind byte names no known frame.
+    UnknownKind(u8),
+    /// The input ended before the announced frame did.
+    Truncated,
+    /// Bytes remain after the announced frame ended.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A length field exceeds what a frame can carry.
+    LengthOverflow,
+    /// A structurally valid frame carried semantically invalid data (a
+    /// non-boolean answer byte, an out-of-range profile accuracy, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad frame magic"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            Self::Truncated => write!(f, "truncated frame"),
+            Self::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after frame"),
+            Self::LengthOverflow => write!(f, "length field exceeds frame limits"),
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// One wire frame: the shard requests, their responses, and an error carrier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A learning-round answering request for one shard.
+    AnswerRequest(AnswerShardRequest),
+    /// A working-accuracy evaluation request for one shard.
+    EvaluateRequest(EvaluateShardRequest),
+    /// Answer sheets, the response to an [`Frame::AnswerRequest`].
+    Sheets(Vec<AnswerSheet>),
+    /// Per-worker accuracy estimates, the response to an
+    /// [`Frame::EvaluateRequest`].
+    Estimates(Vec<f64>),
+    /// Historical worker profiles (profile shipping for future remote
+    /// executors; exercised by the codec property suite today).
+    Profiles(Vec<HistoricalProfile>),
+    /// A remote-side error, carried back as a message string.
+    Error(String),
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Self::AnswerRequest(_) => KIND_ANSWER_REQUEST,
+            Self::EvaluateRequest(_) => KIND_EVALUATE_REQUEST,
+            Self::Sheets(_) => KIND_SHEETS,
+            Self::Estimates(_) => KIND_ESTIMATES,
+            Self::Profiles(_) => KIND_PROFILES,
+            Self::Error(_) => KIND_ERROR,
+        }
+    }
+}
+
+// --- encoding ---------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_count(out: &mut Vec<u8>, n: usize) -> Result<(), CodecError> {
+    let n = u32::try_from(n).map_err(|_| CodecError::LengthOverflow)?;
+    put_u32(out, n);
+    Ok(())
+}
+
+fn put_bools(out: &mut Vec<u8>, bits: &[bool]) {
+    out.extend(bits.iter().map(|&b| u8::from(b)));
+}
+
+fn put_snapshot_request(
+    out: &mut Vec<u8>,
+    seed: u64,
+    stream_tag: u64,
+    epoch: u64,
+    workers: &[WorkerSnapshot],
+    gold: &[bool],
+) -> Result<(), CodecError> {
+    put_u64(out, seed);
+    put_u64(out, stream_tag);
+    put_u64(out, epoch);
+    put_count(out, workers.len())?;
+    for w in workers {
+        put_u64(out, w.id as u64);
+        put_f64(out, w.accuracy);
+    }
+    put_count(out, gold.len())?;
+    put_bools(out, gold);
+    Ok(())
+}
+
+/// Encodes one frame into its complete wire representation (header plus
+/// payload).
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, CodecError> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::AnswerRequest(r) => {
+            put_snapshot_request(
+                &mut payload,
+                r.seed,
+                r.stream_tag,
+                r.epoch,
+                &r.workers,
+                &r.gold,
+            )?;
+        }
+        Frame::EvaluateRequest(r) => {
+            put_snapshot_request(
+                &mut payload,
+                r.seed,
+                r.stream_tag,
+                r.epoch,
+                &r.workers,
+                &r.gold,
+            )?;
+        }
+        Frame::Sheets(sheets) => {
+            put_count(&mut payload, sheets.len())?;
+            for sheet in sheets {
+                put_u64(&mut payload, sheet.worker as u64);
+                put_count(&mut payload, sheet.answers.len())?;
+                if sheet.answers.len() != sheet.gold.len() {
+                    return Err(CodecError::Malformed(
+                        "answer sheet with mismatched answer/gold lengths",
+                    ));
+                }
+                put_bools(&mut payload, &sheet.answers);
+                put_bools(&mut payload, &sheet.gold);
+            }
+        }
+        Frame::Estimates(values) => {
+            put_count(&mut payload, values.len())?;
+            for &v in values {
+                put_f64(&mut payload, v);
+            }
+        }
+        Frame::Profiles(profiles) => {
+            put_count(&mut payload, profiles.len())?;
+            for profile in profiles {
+                put_count(&mut payload, profile.num_domains())?;
+                for d in 0..profile.num_domains() {
+                    match profile.accuracy(d) {
+                        Some(a) => {
+                            payload.push(1);
+                            put_f64(&mut payload, a);
+                        }
+                        None => payload.push(0),
+                    }
+                }
+                for d in 0..profile.num_domains() {
+                    put_u64(&mut payload, profile.task_count(d) as u64);
+                }
+            }
+        }
+        Frame::Error(message) => {
+            put_count(&mut payload, message.len())?;
+            payload.extend_from_slice(message.as_bytes());
+        }
+    }
+    let len = u32::try_from(payload.len()).map_err(|_| CodecError::LengthOverflow)?;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.kind());
+    put_u32(&mut out, len);
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+// --- decoding ---------------------------------------------------------------
+
+/// Bounds-checked byte reader: every take is validated, so decoding is total.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a count and pre-validates that at least `min_element_bytes` per
+    /// element remain, so a hostile length field cannot force a huge
+    /// allocation before the truncation is noticed.
+    fn count(&mut self, min_element_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        let needed = n
+            .checked_mul(min_element_bytes)
+            .ok_or(CodecError::LengthOverflow)?;
+        if self.remaining() < needed {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn bools(&mut self, n: usize) -> Result<Vec<bool>, CodecError> {
+        self.take(n)?
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(CodecError::Malformed("non-boolean answer byte")),
+            })
+            .collect()
+    }
+
+    fn worker_id(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::LengthOverflow)
+    }
+}
+
+/// The shared field layout of the two request kinds: `(seed, stream_tag,
+/// epoch, workers, gold)`.
+type RequestFields = (u64, u64, u64, Vec<WorkerSnapshot>, Vec<bool>);
+
+fn read_snapshot_request(r: &mut Reader<'_>) -> Result<RequestFields, CodecError> {
+    let seed = r.u64()?;
+    let stream_tag = r.u64()?;
+    let epoch = r.u64()?;
+    let num_workers = r.count(16)?;
+    let mut workers = Vec::with_capacity(num_workers);
+    for _ in 0..num_workers {
+        let id = r.worker_id()?;
+        let accuracy = r.f64()?;
+        workers.push(WorkerSnapshot { id, accuracy });
+    }
+    let num_gold = r.count(1)?;
+    let gold = r.bools(num_gold)?;
+    Ok((seed, stream_tag, epoch, workers, gold))
+}
+
+/// Decodes one complete frame from `bytes`.
+///
+/// The buffer must contain exactly one frame: missing bytes are
+/// [`CodecError::Truncated`], extra bytes are [`CodecError::TrailingBytes`].
+/// Never panics, for any input.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, CodecError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    let payload_len = r.u32()? as usize;
+    if r.remaining() < payload_len {
+        return Err(CodecError::Truncated);
+    }
+    if r.remaining() > payload_len {
+        return Err(CodecError::TrailingBytes {
+            extra: r.remaining() - payload_len,
+        });
+    }
+    let frame = match kind {
+        KIND_ANSWER_REQUEST => {
+            let (seed, stream_tag, epoch, workers, gold) = read_snapshot_request(&mut r)?;
+            Frame::AnswerRequest(AnswerShardRequest {
+                seed,
+                stream_tag,
+                epoch,
+                workers,
+                gold,
+            })
+        }
+        KIND_EVALUATE_REQUEST => {
+            let (seed, stream_tag, epoch, workers, gold) = read_snapshot_request(&mut r)?;
+            Frame::EvaluateRequest(EvaluateShardRequest {
+                seed,
+                stream_tag,
+                epoch,
+                workers,
+                gold,
+            })
+        }
+        KIND_SHEETS => {
+            let num_sheets = r.count(12)?;
+            let mut sheets = Vec::with_capacity(num_sheets);
+            for _ in 0..num_sheets {
+                let worker = r.worker_id()?;
+                let len = r.count(2)?;
+                let answers = r.bools(len)?;
+                let gold = r.bools(len)?;
+                let sheet = AnswerSheet::new(worker, answers, gold)
+                    .map_err(|_| CodecError::Malformed("rejected answer sheet"))?;
+                sheets.push(sheet);
+            }
+            Frame::Sheets(sheets)
+        }
+        KIND_ESTIMATES => {
+            let n = r.count(8)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.f64()?);
+            }
+            Frame::Estimates(values)
+        }
+        KIND_PROFILES => {
+            let num_profiles = r.count(4)?;
+            let mut profiles = Vec::with_capacity(num_profiles);
+            for _ in 0..num_profiles {
+                let num_domains = r.count(1)?;
+                let mut accuracies = Vec::with_capacity(num_domains);
+                for _ in 0..num_domains {
+                    let present = r.u8()?;
+                    accuracies.push(match present {
+                        0 => None,
+                        1 => Some(r.f64()?),
+                        _ => {
+                            return Err(CodecError::Malformed("non-boolean profile presence byte"))
+                        }
+                    });
+                }
+                let mut task_counts = Vec::with_capacity(num_domains);
+                for _ in 0..num_domains {
+                    let count =
+                        usize::try_from(r.u64()?).map_err(|_| CodecError::LengthOverflow)?;
+                    task_counts.push(count);
+                }
+                let profile = HistoricalProfile::new(accuracies, task_counts)
+                    .map_err(|_| CodecError::Malformed("rejected historical profile"))?;
+                profiles.push(profile);
+            }
+            Frame::Profiles(profiles)
+        }
+        KIND_ERROR => {
+            let len = r.count(1)?;
+            let bytes = r.take(len)?;
+            let message = String::from_utf8(bytes.to_vec())
+                .map_err(|_| CodecError::Malformed("error message is not UTF-8"))?;
+            Frame::Error(message)
+        }
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes {
+            extra: r.remaining(),
+        });
+    }
+    Ok(frame)
+}
+
+/// Parses a frame header and returns the announced payload length, for
+/// streaming transports that read the header and payload separately.
+pub fn header_payload_len(header: &[u8]) -> Result<usize, CodecError> {
+    if header.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    if header[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if header[4] != VERSION {
+        return Err(CodecError::UnsupportedVersion(header[4]));
+    }
+    let kind = header[5];
+    if !(KIND_ANSWER_REQUEST..=KIND_ERROR).contains(&kind) {
+        return Err(CodecError::UnknownKind(kind));
+    }
+    Ok(u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer_request() -> AnswerShardRequest {
+        AnswerShardRequest {
+            seed: 42,
+            stream_tag: 0x4C45_4152,
+            epoch: 3,
+            workers: vec![
+                WorkerSnapshot {
+                    id: 0,
+                    accuracy: 0.75,
+                },
+                WorkerSnapshot {
+                    id: 17,
+                    accuracy: 0.5,
+                },
+            ],
+            gold: vec![true, false, true],
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let req = answer_request();
+        let frame = Frame::AnswerRequest(req.clone());
+        let bytes = encode_frame(&frame).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        let eval = Frame::EvaluateRequest(EvaluateShardRequest {
+            seed: req.seed,
+            stream_tag: 0x574F_524B,
+            epoch: 0,
+            workers: req.workers,
+            gold: req.gold,
+        });
+        let bytes = encode_frame(&eval).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), eval);
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let sheets = vec![
+            AnswerSheet::new(3, vec![true, false], vec![false, false]).unwrap(),
+            AnswerSheet::new(9, vec![], vec![]).unwrap(),
+        ];
+        let frame = Frame::Sheets(sheets);
+        let bytes = encode_frame(&frame).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+
+        let estimates = Frame::Estimates(vec![0.25, f64::INFINITY, -0.0]);
+        let bytes = encode_frame(&estimates).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), estimates);
+
+        let profiles = Frame::Profiles(vec![HistoricalProfile::new(
+            vec![Some(0.5), None, Some(1.0)],
+            vec![10, 0, 3],
+        )
+        .unwrap()]);
+        let bytes = encode_frame(&profiles).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), profiles);
+
+        let error = Frame::Error("executor lost".into());
+        let bytes = encode_frame(&error).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), error);
+    }
+
+    #[test]
+    fn nan_estimates_round_trip_bit_exactly() {
+        let payload = f64::from_bits(0x7FF8_0000_0000_1234);
+        let frame = Frame::Estimates(vec![payload, f64::NAN]);
+        let bytes = encode_frame(&frame).unwrap();
+        match decode_frame(&bytes).unwrap() {
+            Frame::Estimates(values) => {
+                assert_eq!(values[0].to_bits(), payload.to_bits());
+                assert_eq!(values[1].to_bits(), f64::NAN.to_bits());
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        let good = encode_frame(&Frame::Estimates(vec![1.0])).unwrap();
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_frame(&bad_magic), Err(CodecError::BadMagic));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_frame(&bad_version),
+            Err(CodecError::UnsupportedVersion(9))
+        );
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 200;
+        assert_eq!(decode_frame(&bad_kind), Err(CodecError::UnknownKind(200)));
+        assert_eq!(
+            decode_frame(&good[..good.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode_frame(&trailing),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // An estimates frame announcing u32::MAX values in a 4-byte payload
+        // must fail by truncation before any allocation is attempted.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(4); // estimates
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed() {
+        // A 0/1 answer byte of 2 is rejected.
+        let frame = Frame::Sheets(vec![AnswerSheet::new(0, vec![true], vec![true]).unwrap()]);
+        let mut bytes = encode_frame(&frame).unwrap();
+        let answers_at = bytes.len() - 2;
+        bytes[answers_at] = 2;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
+        // A profile accuracy outside [0, 1] is rejected by the validated
+        // constructor.
+        let profile = Frame::Profiles(vec![
+            HistoricalProfile::new(vec![Some(1.0)], vec![1]).unwrap()
+        ]);
+        let mut bytes = encode_frame(&profile).unwrap();
+        // Overwrite the f64 accuracy (8 bytes before the trailing task count).
+        let acc_at = bytes.len() - 16;
+        bytes[acc_at..acc_at + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn header_payload_len_matches_encoding() {
+        let frame = Frame::Error("x".into());
+        let bytes = encode_frame(&frame).unwrap();
+        let len = header_payload_len(&bytes[..HEADER_LEN]).unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN + len);
+        assert_eq!(header_payload_len(&[0; 4]), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,112 @@
+//! Typed errors of the shard service.
+//!
+//! The service's fault model is "typed error, never a wrong answer": every
+//! failure a transport, queue, or executor can hit surfaces as a
+//! [`ServiceError`] variant, and a round that sees one aborts cleanly instead
+//! of committing partial or corrupted results.
+
+use crate::codec::CodecError;
+use c4u_crowd_sim::SimError;
+use std::fmt;
+
+/// Errors of the shard service: queueing, execution, transport, and codec
+/// failures, plus the simulator errors a request itself can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The underlying simulator rejected the request (unknown worker,
+    /// mismatched sheet lengths, …).
+    Sim(SimError),
+    /// A frame failed to encode or decode.
+    Codec(CodecError),
+    /// The bounded work queue stayed full past the configured enqueue
+    /// timeout.
+    QueueFull {
+        /// Capacity of the queue that rejected the job.
+        capacity: usize,
+    },
+    /// The queue was closed (service shut down) while jobs were outstanding.
+    QueueClosed,
+    /// An executor panicked on this job more times than the requeue budget
+    /// allows.
+    ExecutorLost {
+        /// Number of executions attempted (initial dispatch + requeues).
+        attempts: usize,
+    },
+    /// A transport answered with the wrong response kind or otherwise broke
+    /// the request/response protocol.
+    Protocol {
+        /// What the protocol violation was.
+        what: &'static str,
+    },
+    /// A socket transport failed at the I/O layer.
+    Io(String),
+    /// A remote executor reported an error; only its message survives the
+    /// wire.
+    Remote(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Sim(e) => write!(f, "simulator error: {e}"),
+            Self::Codec(e) => write!(f, "codec error: {e}"),
+            Self::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "work queue (capacity {capacity}) stayed full past the enqueue timeout"
+                )
+            }
+            Self::QueueClosed => write!(f, "work queue closed while jobs were outstanding"),
+            Self::ExecutorLost { attempts } => {
+                write!(f, "executor panicked on this job ({attempts} attempts)")
+            }
+            Self::Protocol { what } => write!(f, "protocol violation: {what}"),
+            Self::Io(what) => write!(f, "transport I/O error: {what}"),
+            Self::Remote(what) => write!(f, "remote executor error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SimError> for ServiceError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<CodecError> for ServiceError {
+    fn from(e: CodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(ServiceError, &str)> = vec![
+            (ServiceError::QueueFull { capacity: 1 }, "capacity 1"),
+            (ServiceError::QueueClosed, "closed"),
+            (ServiceError::ExecutorLost { attempts: 3 }, "3 attempts"),
+            (ServiceError::Protocol { what: "bad kind" }, "bad kind"),
+            (ServiceError::Io("refused".into()), "refused"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn conversions_wrap_the_source() {
+        let sim = SimError::UnknownWorker { id: 9 };
+        assert_eq!(ServiceError::from(sim.clone()), ServiceError::Sim(sim));
+        let codec = CodecError::Truncated;
+        assert_eq!(
+            ServiceError::from(codec.clone()),
+            ServiceError::Codec(codec)
+        );
+    }
+}

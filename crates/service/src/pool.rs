@@ -1,0 +1,256 @@
+//! Executor pool and batch completion state.
+//!
+//! Executor threads drain the shared [`WorkQueue`](crate::WorkQueue) and run
+//! each job's request through the service's [`ShardTransport`]. Three design
+//! points carry the determinism and fault contracts:
+//!
+//! * **Slot-addressed merging.** Every job carries its shard index; the
+//!   response is written into that slot of the batch's result vector. The
+//!   merge is therefore *structurally* independent of completion order —
+//!   there is no order-sensitive accumulation a slow executor could perturb.
+//! * **Panic requeue.** A transport panic is caught (`catch_unwind`) and the
+//!   job is pushed back at the queue *front* with its attempt count bumped;
+//!   requests are pure values, so a re-execution produces the identical
+//!   response. Past the requeue budget the slot gets a typed
+//!   [`ServiceError::ExecutorLost`] — never a fabricated answer.
+//! * **Adversarial delivery.** [`DeliveryOrder`] lets tests buffer a batch's
+//!   responses and apply them reversed or seed-shuffled, proving the merge
+//!   really is arrival-order-free rather than merely lucky.
+
+use crate::error::ServiceError;
+use crate::queue::WorkQueue;
+use crate::transport::{ShardRequest, ShardResponse, ShardTransport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// In what order a batch's responses are written into their result slots.
+///
+/// Production uses [`DeliveryOrder::Immediate`]. The other two are
+/// adversarial test schedulers: responses are buffered until the whole batch
+/// completed, then applied in a hostile order — the service must produce
+/// bit-for-bit identical rounds regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryOrder {
+    /// Write each response into its slot the moment the executor finishes.
+    #[default]
+    Immediate,
+    /// Buffer the batch, then apply responses in reverse completion order.
+    Reversed,
+    /// Buffer the batch, then apply responses in a seeded-shuffle order.
+    Shuffled(u64),
+}
+
+type SlotResult = Result<ShardResponse, ServiceError>;
+
+struct BatchInner {
+    results: Vec<Option<SlotResult>>,
+    /// Completed-but-unapplied responses (non-immediate delivery only), in
+    /// completion order.
+    staged: Vec<(usize, SlotResult)>,
+    remaining: usize,
+}
+
+/// Completion state of one submitted batch: one result slot per request.
+pub(crate) struct BatchState {
+    inner: Mutex<BatchInner>,
+    done: Condvar,
+    delivery: DeliveryOrder,
+    /// Differentiates the shuffle stream per batch under
+    /// [`DeliveryOrder::Shuffled`].
+    batch_id: u64,
+}
+
+impl BatchState {
+    pub(crate) fn new(num_slots: usize, delivery: DeliveryOrder, batch_id: u64) -> Self {
+        Self {
+            inner: Mutex::new(BatchInner {
+                results: vec![None; num_slots],
+                staged: Vec::new(),
+                remaining: num_slots,
+            }),
+            done: Condvar::new(),
+            delivery,
+            batch_id,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BatchInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Delivers one slot's result. The final delivery of a batch applies any
+    /// staged responses in the adversarial order and wakes the waiter.
+    pub(crate) fn deliver(&self, slot: usize, result: SlotResult) {
+        let mut inner = self.lock();
+        match self.delivery {
+            DeliveryOrder::Immediate => {
+                if let Some(entry) = inner.results.get_mut(slot) {
+                    *entry = Some(result);
+                }
+            }
+            DeliveryOrder::Reversed | DeliveryOrder::Shuffled(_) => {
+                inner.staged.push((slot, result));
+            }
+        }
+        inner.remaining = inner.remaining.saturating_sub(1);
+        if inner.remaining == 0 {
+            let mut staged = std::mem::take(&mut inner.staged);
+            match self.delivery {
+                DeliveryOrder::Immediate => {}
+                DeliveryOrder::Reversed => staged.reverse(),
+                DeliveryOrder::Shuffled(seed) => {
+                    // Fisher–Yates with a per-batch seeded stream: hostile but
+                    // reproducible arrival orders.
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(self.batch_id));
+                    for i in (1..staged.len()).rev() {
+                        let j = (rng.gen::<u64>() % (i as u64 + 1)) as usize;
+                        staged.swap(i, j);
+                    }
+                }
+            }
+            for (slot, result) in staged {
+                if let Some(entry) = inner.results.get_mut(slot) {
+                    *entry = Some(result);
+                }
+            }
+            drop(inner);
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every slot is delivered, then returns the results in slot
+    /// (== shard) order. A slot nothing was delivered to — impossible unless
+    /// a job was lost — reads as a protocol error, never as a missing answer.
+    pub(crate) fn wait(&self) -> Vec<SlotResult> {
+        let mut inner = self.lock();
+        while inner.remaining > 0 {
+            inner = self
+                .done
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        inner
+            .results
+            .iter_mut()
+            .map(|slot| {
+                slot.take().unwrap_or(Err(ServiceError::Protocol {
+                    what: "batch slot completed without a delivered response",
+                }))
+            })
+            .collect()
+    }
+}
+
+/// One unit of queued work: a shard request bound to its batch slot.
+pub(crate) struct Job {
+    pub(crate) batch: Arc<BatchState>,
+    pub(crate) slot: usize,
+    pub(crate) request: ShardRequest,
+    pub(crate) attempts: usize,
+}
+
+/// The executor thread pool: `executors` threads draining one shared queue.
+pub(crate) struct ExecutorPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ExecutorPool {
+    /// Spawns the executor threads. Each loops `pop → execute → deliver`
+    /// until the queue closes and drains.
+    pub(crate) fn spawn(
+        executors: usize,
+        queue: &Arc<WorkQueue<Job>>,
+        transport: &Arc<dyn ShardTransport>,
+        max_requeues: usize,
+    ) -> Self {
+        let handles = (0..executors.max(1))
+            .map(|_| {
+                let queue = Arc::clone(queue);
+                let transport = Arc::clone(transport);
+                std::thread::spawn(move || {
+                    while let Some(mut job) = queue.pop() {
+                        job.attempts += 1;
+                        // AssertUnwindSafe: the transport is behind &self and
+                        // the request is an immutable pure value; a panic
+                        // leaves nothing half-mutated that a retry could see.
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| transport.execute(&job.request)));
+                        match outcome {
+                            Ok(result) => job.batch.deliver(job.slot, result),
+                            Err(_) if job.attempts <= max_requeues => {
+                                // Requeue at the front: pure requests re-execute
+                                // identically, so the round still reproduces the
+                                // reference numbers.
+                                queue.push_front(job);
+                            }
+                            Err(_) => {
+                                let attempts = job.attempts;
+                                job.batch.deliver(
+                                    job.slot,
+                                    Err(ServiceError::ExecutorLost { attempts }),
+                                );
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Joins every executor thread (call after closing the queue).
+    pub(crate) fn join(&mut self) {
+        for handle in self.handles.drain(..) {
+            // An executor can only terminate by draining the closed queue;
+            // its panics are caught per job, so join failures are impossible
+            // in practice and ignored rather than propagated.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimates(values: &[f64]) -> SlotResult {
+        Ok(ShardResponse::Estimates(values.to_vec()))
+    }
+
+    #[test]
+    fn immediate_delivery_fills_slots() {
+        let batch = BatchState::new(2, DeliveryOrder::Immediate, 0);
+        batch.deliver(1, estimates(&[1.0]));
+        batch.deliver(0, estimates(&[0.0]));
+        let results = batch.wait();
+        assert_eq!(results[0], estimates(&[0.0]));
+        assert_eq!(results[1], estimates(&[1.0]));
+    }
+
+    #[test]
+    fn adversarial_delivery_orders_do_not_change_slots() {
+        for delivery in [
+            DeliveryOrder::Reversed,
+            DeliveryOrder::Shuffled(7),
+            DeliveryOrder::Shuffled(8),
+        ] {
+            let batch = BatchState::new(3, delivery, 5);
+            batch.deliver(2, estimates(&[2.0]));
+            batch.deliver(0, estimates(&[0.0]));
+            batch.deliver(1, estimates(&[1.0]));
+            let results = batch.wait();
+            for (slot, result) in results.iter().enumerate() {
+                assert_eq!(result, &estimates(&[slot as f64]), "{delivery:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_complete_without_deliveries() {
+        let batch = BatchState::new(0, DeliveryOrder::Immediate, 0);
+        assert!(batch.wait().is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Bounded MPMC work queue with blocking backpressure.
+//!
+//! The coordinator enqueues per-shard jobs here; executor threads drain them.
+//! A bounded queue makes the producer *block* (or fail after a timeout) when
+//! executors fall behind — backpressure, not unbounded buffering. The queue
+//! carries no timing state of its own: the only temporal input is the
+//! caller-supplied [`Duration`] of [`WorkQueue::push_timeout`], keeping the
+//! crate inside the workspace's no-wallclock contract.
+//!
+//! Lock poisoning (a panicking executor mid-`pop`) is recovered, not
+//! propagated: queue state is a `VecDeque` plus counters, which stay
+//! structurally valid across an interrupted critical section, so the service
+//! keeps operating after an executor panic — the requeue logic in the pool
+//! depends on that.
+
+use crate::error::ServiceError;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking work queue with optional capacity.
+pub struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates a queue. `capacity` 0 means unbounded; any other value bounds
+    /// the number of queued (not yet popped) jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: (capacity > 0).then_some(capacity),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn is_full(&self, state: &QueueState<T>) -> bool {
+        self.capacity.is_some_and(|c| state.items.len() >= c)
+    }
+
+    /// Number of queued jobs right now.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity.
+    ///
+    /// Returns [`ServiceError::QueueClosed`] if the queue is (or becomes)
+    /// closed before the job is accepted.
+    pub fn push(&self, item: T) -> Result<(), ServiceError> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(ServiceError::QueueClosed);
+            }
+            if !self.is_full(&state) {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Enqueues a job, blocking at most `timeout` while the queue is at
+    /// capacity.
+    ///
+    /// Returns [`ServiceError::QueueFull`] when the wait elapses with the
+    /// queue still full (a spurious wakeup restarts the full wait, so the
+    /// bound may be exceeded — never undercut), and
+    /// [`ServiceError::QueueClosed`] if the queue closes first.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), ServiceError> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(ServiceError::QueueClosed);
+            }
+            if !self.is_full(&state) {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let (next, wait) = self
+                .not_full
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if wait.timed_out() && self.is_full(&state) && !state.closed {
+                return Err(ServiceError::QueueFull {
+                    capacity: self.capacity.unwrap_or(0),
+                });
+            }
+        }
+    }
+
+    /// Requeues a job at the *front* of the queue, ignoring capacity.
+    ///
+    /// Used by the executor pool to put a panicked job back for retry:
+    /// requeues return capacity the job already consumed, so waiting for a
+    /// free slot here could deadlock every executor against a full queue.
+    pub fn push_front(&self, item: T) {
+        let mut state = self.lock();
+        state.items.push_front(item);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues the next job, blocking while the queue is empty.
+    ///
+    /// Returns `None` once the queue is closed *and* drained — the executor
+    /// shutdown signal. Jobs enqueued before (or requeued after) the close
+    /// are still handed out.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, executors drain the remaining
+    /// jobs and then receive `None`.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_len() {
+        let q = WorkQueue::new(0);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), None);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_signals_shutdown() {
+        let q = WorkQueue::new(0);
+        q.push("job").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("job"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push("late"), Err(ServiceError::QueueClosed));
+    }
+
+    #[test]
+    fn bounded_push_timeout_reports_queue_full() {
+        let q = WorkQueue::new(1);
+        assert_eq!(q.capacity(), Some(1));
+        q.push(1).unwrap();
+        let err = q.push_timeout(2, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, ServiceError::QueueFull { capacity: 1 });
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_a_slot_frees() {
+        let q = Arc::new(WorkQueue::new(1));
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(2))
+        };
+        // The producer is blocked on the full queue until this pop.
+        assert_eq!(q.pop(), Some(1));
+        producer.join().expect("producer thread").unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn push_front_bypasses_capacity() {
+        let q = WorkQueue::new(1);
+        q.push(1).unwrap();
+        q.push_front(0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn pop_blocks_until_an_item_arrives() {
+        let q = Arc::new(WorkQueue::new(0));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        q.push(7).unwrap();
+        assert_eq!(consumer.join().expect("consumer thread"), Some(7));
+    }
+}

@@ -1,0 +1,339 @@
+//! Shard transports: where a shard request executes.
+//!
+//! [`ShardTransport`] is the service-side seam: given a self-contained
+//! [`ShardRequest`], produce its [`ShardResponse`] or a typed error. Three
+//! implementations ship, all answering bit-for-bit identically because they
+//! all bottom out in the same pure `serve()` functions:
+//!
+//! * [`LocalTransport`] — wraps any crowd-sim [`ShardExecutor`]; the
+//!   same-thread baseline.
+//! * [`WireTransport`] — pushes every request and response through the full
+//!   binary codec (encode → decode on both legs) before delegating to an
+//!   inner transport, so codec identity is exercised on the real payloads of
+//!   every round, not just in isolated tests.
+//! * [`TcpTransport`] / [`TcpShardServer`] — a localhost socket pair:
+//!   connect-per-call client, accept-loop server answering with an
+//!   [`InProcessExecutor`]. The process boundary changes nothing — which is
+//!   the point.
+
+use crate::codec::{decode_frame, encode_frame, header_payload_len, Frame, HEADER_LEN};
+use crate::error::ServiceError;
+use c4u_crowd_sim::{
+    AnswerShardRequest, AnswerSheet, EvaluateShardRequest, InProcessExecutor, ShardExecutor,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A self-contained request for one shard: the unit of service work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardRequest {
+    /// Answer a learning batch.
+    Answer(AnswerShardRequest),
+    /// Evaluate working accuracy.
+    Evaluate(EvaluateShardRequest),
+}
+
+/// The response to a [`ShardRequest`], kind-matched to the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResponse {
+    /// Answer sheets for a [`ShardRequest::Answer`], in snapshot order.
+    Sheets(Vec<AnswerSheet>),
+    /// Per-worker accuracies for a [`ShardRequest::Evaluate`], in snapshot
+    /// order.
+    Estimates(Vec<f64>),
+}
+
+/// Executes shard requests somewhere — same thread, thread pool, or across a
+/// process boundary. Implementations must reproduce the request's own
+/// `serve()` result exactly or fail with a typed error; they must never
+/// return a different answer.
+pub trait ShardTransport: Send + Sync {
+    /// Executes one shard request to completion.
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError>;
+}
+
+/// Serves requests on the calling thread through a crowd-sim
+/// [`ShardExecutor`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalTransport<E = InProcessExecutor> {
+    executor: E,
+}
+
+impl<E: ShardExecutor> LocalTransport<E> {
+    /// Wraps an executor.
+    pub fn new(executor: E) -> Self {
+        Self { executor }
+    }
+}
+
+impl<E: ShardExecutor> ShardTransport for LocalTransport<E> {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        match request {
+            ShardRequest::Answer(r) => Ok(ShardResponse::Sheets(self.executor.answer(r)?)),
+            ShardRequest::Evaluate(r) => Ok(ShardResponse::Estimates(self.executor.evaluate(r)?)),
+        }
+    }
+}
+
+fn request_to_frame(request: &ShardRequest) -> Frame {
+    match request {
+        ShardRequest::Answer(r) => Frame::AnswerRequest(r.clone()),
+        ShardRequest::Evaluate(r) => Frame::EvaluateRequest(r.clone()),
+    }
+}
+
+fn frame_to_request(frame: Frame) -> Result<ShardRequest, ServiceError> {
+    match frame {
+        Frame::AnswerRequest(r) => Ok(ShardRequest::Answer(r)),
+        Frame::EvaluateRequest(r) => Ok(ShardRequest::Evaluate(r)),
+        _ => Err(ServiceError::Protocol {
+            what: "expected a request frame",
+        }),
+    }
+}
+
+fn response_to_frame(response: &ShardResponse) -> Frame {
+    match response {
+        ShardResponse::Sheets(s) => Frame::Sheets(s.clone()),
+        ShardResponse::Estimates(e) => Frame::Estimates(e.clone()),
+    }
+}
+
+fn frame_to_response(frame: Frame) -> Result<ShardResponse, ServiceError> {
+    match frame {
+        Frame::Sheets(s) => Ok(ShardResponse::Sheets(s)),
+        Frame::Estimates(e) => Ok(ShardResponse::Estimates(e)),
+        Frame::Error(message) => Err(ServiceError::Remote(message)),
+        _ => Err(ServiceError::Protocol {
+            what: "expected a response frame",
+        }),
+    }
+}
+
+/// Round-trips every request and response through the binary codec before and
+/// after delegating to the inner transport — an in-memory byte loopback that
+/// proves codec identity on live traffic.
+#[derive(Debug, Clone, Default)]
+pub struct WireTransport<T> {
+    inner: T,
+}
+
+impl<T: ShardTransport> WireTransport<T> {
+    /// Wraps an inner transport with the codec loopback.
+    pub fn new(inner: T) -> Self {
+        Self { inner }
+    }
+}
+
+impl<T: ShardTransport> ShardTransport for WireTransport<T> {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        // Outbound leg: the request that executes is the decoded copy, so any
+        // codec defect surfaces as a wrong-answer diff in the equivalence
+        // tests instead of hiding behind an in-process shortcut.
+        let wire = encode_frame(&request_to_frame(request))?;
+        let decoded = frame_to_request(decode_frame(&wire)?)?;
+        let response = self.inner.execute(&decoded)?;
+        // Inbound leg: same treatment for the response.
+        let wire = encode_frame(&response_to_frame(&response))?;
+        frame_to_response(decode_frame(&wire)?)
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> ServiceError {
+    ServiceError::Io(format!("{context}: {e}"))
+}
+
+fn read_one_frame(stream: &mut TcpStream) -> Result<Frame, ServiceError> {
+    let mut header = [0u8; HEADER_LEN];
+    stream
+        .read_exact(&mut header)
+        .map_err(|e| io_err("read frame header", e))?;
+    let payload_len = header_payload_len(&header)?;
+    let mut frame = header.to_vec();
+    frame.resize(HEADER_LEN + payload_len, 0);
+    stream
+        .read_exact(&mut frame[HEADER_LEN..])
+        .map_err(|e| io_err("read frame payload", e))?;
+    Ok(decode_frame(&frame)?)
+}
+
+fn write_one_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), ServiceError> {
+    let bytes = encode_frame(frame)?;
+    stream
+        .write_all(&bytes)
+        .map_err(|e| io_err("write frame", e))
+}
+
+/// Connect-per-call socket client: each request opens a TCP connection to a
+/// [`TcpShardServer`] (or any speaker of the frame protocol), writes one
+/// request frame, and reads one response frame.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// A client of the frame protocol at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr }
+    }
+}
+
+impl ShardTransport for TcpTransport {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        let mut stream = TcpStream::connect(self.addr).map_err(|e| io_err("connect", e))?;
+        write_one_frame(&mut stream, &request_to_frame(request))?;
+        frame_to_response(read_one_frame(&mut stream)?)
+    }
+}
+
+/// A localhost shard server: accepts frame-protocol connections and answers
+/// each request with an [`InProcessExecutor`] — the same pure serving code as
+/// every other transport. Spawned on an OS-assigned port; shut down (and
+/// joined) on drop.
+#[derive(Debug)]
+pub struct TcpShardServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+fn serve_connection(stream: &mut TcpStream) {
+    let reply = match read_one_frame(stream).map(frame_to_request) {
+        Ok(Ok(request)) => match LocalTransport::<InProcessExecutor>::default().execute(&request) {
+            Ok(response) => response_to_frame(&response),
+            Err(e) => Frame::Error(e.to_string()),
+        },
+        Ok(Err(e)) | Err(e) => Frame::Error(e.to_string()),
+    };
+    // A client that hung up early makes the reply unwritable; nothing to do.
+    let _ = write_one_frame(stream, &reply);
+}
+
+impl TcpShardServer {
+    /// Binds `127.0.0.1:0` and spawns the accept loop.
+    ///
+    /// Returns an I/O error when the environment forbids binding (sandboxes
+    /// without network namespaces); callers that can run without the socket
+    /// transport should treat that as "skip", not "fail".
+    pub fn spawn() -> Result<Self, ServiceError> {
+        let listener =
+            TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err("bind 127.0.0.1:0", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_loop = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(mut stream) = stream {
+                    serve_connection(&mut stream);
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// Address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A [`TcpTransport`] client of this server.
+    pub fn transport(&self) -> TcpTransport {
+        TcpTransport::new(self.addr)
+    }
+}
+
+impl Drop for TcpShardServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection, then join.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_loop.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4u_crowd_sim::WorkerSnapshot;
+
+    fn answer_request() -> ShardRequest {
+        ShardRequest::Answer(AnswerShardRequest {
+            seed: 11,
+            stream_tag: 0x4C45_4152,
+            epoch: 2,
+            workers: vec![
+                WorkerSnapshot {
+                    id: 4,
+                    accuracy: 0.8,
+                },
+                WorkerSnapshot {
+                    id: 5,
+                    accuracy: 0.3,
+                },
+            ],
+            gold: vec![true, true, false],
+        })
+    }
+
+    fn evaluate_request() -> ShardRequest {
+        ShardRequest::Evaluate(EvaluateShardRequest {
+            seed: 11,
+            stream_tag: 0x574F_524B,
+            epoch: 0,
+            workers: vec![WorkerSnapshot {
+                id: 4,
+                accuracy: 0.8,
+            }],
+            gold: vec![false, true],
+        })
+    }
+
+    #[test]
+    fn wire_transport_is_identical_to_local() {
+        let local = LocalTransport::<InProcessExecutor>::default();
+        let wire = WireTransport::new(LocalTransport::<InProcessExecutor>::default());
+        for request in [answer_request(), evaluate_request()] {
+            assert_eq!(local.execute(&request), wire.execute(&request));
+        }
+    }
+
+    #[test]
+    fn tcp_transport_is_identical_to_local() {
+        let Ok(server) = TcpShardServer::spawn() else {
+            eprintln!("skipping: cannot bind a localhost socket in this environment");
+            return;
+        };
+        let local = LocalTransport::<InProcessExecutor>::default();
+        let tcp = server.transport();
+        for request in [answer_request(), evaluate_request()] {
+            assert_eq!(local.execute(&request), tcp.execute(&request));
+        }
+    }
+
+    #[test]
+    fn tcp_connect_to_closed_port_is_a_typed_error() {
+        let addr = {
+            let Ok(server) = TcpShardServer::spawn() else {
+                eprintln!("skipping: cannot bind a localhost socket in this environment");
+                return;
+            };
+            server.addr()
+            // Server drops (and unbinds) here.
+        };
+        let err = TcpTransport::new(addr).execute(&evaluate_request());
+        assert!(matches!(err, Err(ServiceError::Io(_))), "{err:?}");
+    }
+}

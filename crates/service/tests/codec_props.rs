@@ -1,0 +1,203 @@
+//! Codec property tests: `decode(encode(frame)) == frame` over randomised
+//! payloads — including NaN estimates, empty shards, and large frames — and
+//! `decode` is total: random or mutated bytes produce a typed [`CodecError`],
+//! never a panic.
+
+use c4u_crowd_sim::{AnswerSheet, HistoricalProfile, WorkerSnapshot};
+use c4u_service::{decode_frame, encode_frame, header_payload_len, Frame, HEADER_LEN};
+use proptest::prelude::*;
+
+/// Any `f64` bit pattern plus forced special values: NaN (quiet and
+/// payload-carrying), the infinities, signed zero.
+fn wild_f64() -> impl Strategy<Value = f64> {
+    (0u8..6, 1u64..u64::MAX).prop_map(|(kind, bits)| match kind {
+        0 => f64::NAN,
+        1 => f64::from_bits(0x7FF8_0000_0000_0001 | (bits & 0x000F_FFFF_FFFF_FFFF)),
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => -0.0,
+        _ => f64::from_bits(bits),
+    })
+}
+
+fn wild_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+/// Answer sheets with 0–7 tasks (empty sheets included).
+fn sheets() -> impl Strategy<Value = Vec<AnswerSheet>> {
+    prop::collection::vec(
+        (
+            0usize..1_000_000,
+            prop::collection::vec((wild_bool(), wild_bool()), 0..8),
+        )
+            .prop_map(|(worker, pairs)| {
+                let (answers, gold) = pairs.into_iter().unzip();
+                AnswerSheet::new(worker, answers, gold).expect("equal-length sheet")
+            }),
+        0..6,
+    )
+}
+
+/// Profiles with 0–5 domains; accuracies are `None` or validated `[0, 1]`.
+fn profiles() -> impl Strategy<Value = Vec<HistoricalProfile>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..2, 0u32..=1_000_000, 0usize..10_000), 0..6).prop_map(
+            |domains| {
+                let (accuracies, task_counts) = domains
+                    .into_iter()
+                    .map(|(present, numerator, tasks)| {
+                        let accuracy = (present == 1).then(|| f64::from(numerator) / 1_000_000.0);
+                        (accuracy, tasks)
+                    })
+                    .unzip();
+                HistoricalProfile::new(accuracies, task_counts).expect("validated profile")
+            },
+        ),
+        0..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimates_round_trip_bit_exactly(values in prop::collection::vec(wild_f64(), 0..64)) {
+        let bytes = encode_frame(&Frame::Estimates(values.clone())).expect("encode");
+        let Frame::Estimates(decoded) = decode_frame(&bytes).expect("decode") else {
+            panic!("estimates decoded as a different frame kind");
+        };
+        // NaN payloads survive: equality is on the raw bits, not on `==`.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&decoded), bits(&values));
+    }
+
+    #[test]
+    fn sheets_round_trip(sheets in sheets()) {
+        let frame = Frame::Sheets(sheets);
+        let bytes = encode_frame(&frame).expect("encode");
+        prop_assert_eq!(decode_frame(&bytes).expect("decode"), frame);
+    }
+
+    #[test]
+    fn profiles_round_trip(profiles in profiles()) {
+        let frame = Frame::Profiles(profiles);
+        let bytes = encode_frame(&frame).expect("encode");
+        prop_assert_eq!(decode_frame(&bytes).expect("decode"), frame);
+    }
+
+    #[test]
+    fn requests_round_trip_bit_exactly(
+        seed in 0u64..u64::MAX,
+        tag in 0u64..u64::MAX,
+        epoch in 0u64..u64::MAX,
+        workers in prop::collection::vec((0usize..1_000_000, wild_f64()), 0..8),
+        gold in prop::collection::vec(wild_bool(), 0..8),
+        evaluate in wild_bool(),
+    ) {
+        let snapshots: Vec<WorkerSnapshot> = workers
+            .iter()
+            .map(|&(id, accuracy)| WorkerSnapshot { id, accuracy })
+            .collect();
+        let request = c4u_crowd_sim::AnswerShardRequest {
+            seed,
+            stream_tag: tag,
+            epoch,
+            workers: snapshots,
+            gold,
+        };
+        let frame = if evaluate {
+            Frame::EvaluateRequest(c4u_crowd_sim::EvaluateShardRequest {
+                seed: request.seed,
+                stream_tag: request.stream_tag,
+                epoch: request.epoch,
+                workers: request.workers.clone(),
+                gold: request.gold.clone(),
+            })
+        } else {
+            Frame::AnswerRequest(request.clone())
+        };
+        let bytes = encode_frame(&frame).expect("encode");
+        let decoded = decode_frame(&bytes).expect("decode");
+        let (workers_out, fields_out) = match &decoded {
+            Frame::AnswerRequest(r) => (&r.workers, (r.seed, r.stream_tag, r.epoch, &r.gold)),
+            Frame::EvaluateRequest(r) => (&r.workers, (r.seed, r.stream_tag, r.epoch, &r.gold)),
+            other => panic!("request decoded as {other:?}"),
+        };
+        prop_assert_eq!(fields_out, (seed, tag, epoch, &request.gold));
+        prop_assert_eq!(workers_out.len(), workers.len());
+        for (out, (id, accuracy)) in workers_out.iter().zip(&workers) {
+            prop_assert_eq!(out.id, *id);
+            // Snapshot accuracies round-trip bit-exactly, NaN included.
+            prop_assert_eq!(out.accuracy.to_bits(), accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn error_frames_round_trip(codes in prop::collection::vec(0u32..0xD800, 0..32)) {
+        // Arbitrary (surrogate-free) unicode messages.
+        let message: String = codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect();
+        let frame = Frame::Error(message);
+        let bytes = encode_frame(&frame).expect("encode");
+        prop_assert_eq!(decode_frame(&bytes).expect("decode"), frame);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..96)) {
+        // Totality: any byte soup is Ok or a typed CodecError, never a panic.
+        let _ = decode_frame(&bytes);
+        if bytes.len() >= HEADER_LEN {
+            let _ = header_payload_len(&bytes[..HEADER_LEN]);
+        }
+    }
+
+    #[test]
+    fn mutated_valid_frames_never_panic(
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+        truncate_to in 0usize..200,
+    ) {
+        // Start from a frame that decodes, then corrupt one bit or cut the
+        // tail: decode must stay total on near-valid inputs too.
+        let frame = Frame::Sheets(vec![
+            AnswerSheet::new(3, vec![true, false, true], vec![true, true, false]).unwrap(),
+            AnswerSheet::new(9, vec![], vec![]).unwrap(),
+        ]);
+        let valid = encode_frame(&frame).expect("encode");
+        let mut flipped = valid.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        let _ = decode_frame(&flipped);
+        let _ = decode_frame(&valid[..truncate_to.min(valid.len())]);
+    }
+}
+
+#[test]
+fn large_frames_round_trip() {
+    // A shard of 10^5 estimates (~800 KiB payload) far exceeds any header
+    // field boundary; the length plumbing must stay exact.
+    let values: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5 - 1e9).collect();
+    let frame = Frame::Estimates(values);
+    let bytes = encode_frame(&frame).unwrap();
+    assert_eq!(
+        header_payload_len(&bytes[..HEADER_LEN]).unwrap(),
+        bytes.len() - HEADER_LEN
+    );
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+#[test]
+fn empty_shards_round_trip() {
+    for frame in [
+        Frame::Sheets(Vec::new()),
+        Frame::Estimates(Vec::new()),
+        Frame::Profiles(Vec::new()),
+        Frame::Error(String::new()),
+    ] {
+        let bytes = encode_frame(&frame).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+}

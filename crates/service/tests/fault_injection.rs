@@ -1,0 +1,269 @@
+//! Fault injection: the service's failure contract is "typed error, never a
+//! wrong answer".
+//!
+//! Three fault families are injected through [`ShardTransport`] test doubles:
+//!
+//! * **Executor panics.** A panicking executor loses the job mid-batch; the
+//!   job is requeued and — because shard requests are pure values — the
+//!   re-execution reproduces the reference round bit-for-bit. Past the
+//!   requeue budget the round fails with [`ServiceError::ExecutorLost`] and
+//!   commits nothing.
+//! * **Poisoned codec frames.** Truncated or bit-flipped frames surface as
+//!   typed [`CodecError`]s; a corrupted response can never be committed as a
+//!   plausible-but-wrong answer.
+//! * **Queue-full timeouts.** With a capacity-1 queue, a gated executor, and
+//!   an enqueue timeout, overflow jobs fail their slot with
+//!   [`ServiceError::QueueFull`]; the batch still completes (no hang) and the
+//!   platform is left untouched.
+
+use c4u_crowd_sim::{generate, DatasetConfig, InProcessExecutor, Platform, WorkerShards};
+use c4u_service::{
+    decode_frame, encode_frame, CodecError, Frame, LocalTransport, ServiceConfig, ServiceError,
+    ShardRequest, ShardResponse, ShardService, ShardTransport,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+fn rw1_platform(seed: u64) -> Platform {
+    let dataset = generate(&DatasetConfig::rw1()).unwrap();
+    Platform::from_dataset(&dataset, seed).unwrap()
+}
+
+/// Panics on the first `budget` executions, then behaves normally — the
+/// "executor killed mid-batch" fault.
+struct PanicFirst {
+    remaining: AtomicUsize,
+    inner: LocalTransport<InProcessExecutor>,
+}
+
+impl PanicFirst {
+    fn new(budget: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(budget),
+            inner: LocalTransport::<InProcessExecutor>::default(),
+        }
+    }
+}
+
+impl ShardTransport for PanicFirst {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        let remaining = self.remaining.load(Ordering::SeqCst);
+        if remaining > 0
+            && self
+                .remaining
+                .compare_exchange(remaining, remaining - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            panic!("injected executor crash");
+        }
+        self.inner.execute(request)
+    }
+}
+
+/// Panics on every execution — an executor that never recovers.
+struct AlwaysPanic;
+
+impl ShardTransport for AlwaysPanic {
+    fn execute(&self, _request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        panic!("injected executor crash");
+    }
+}
+
+#[test]
+fn executor_panics_requeue_and_reproduce_the_reference_round() {
+    let reference = {
+        let mut platform = rw1_platform(17);
+        let ids = platform.worker_ids();
+        let shards = WorkerShards::by_count(ids.len(), 4);
+        let record = platform
+            .assign_learning_batch_sharded(&ids, 6, &shards)
+            .unwrap();
+        let eval = platform
+            .evaluate_working_accuracy_sharded(&ids, &shards)
+            .unwrap();
+        (record, eval)
+    };
+    // Two injected crashes against a requeue budget of two: the killed jobs
+    // are requeued and re-executed; being pure values they answer identically.
+    let service = ShardService::with_transport(
+        ServiceConfig::default()
+            .with_executors(3)
+            .with_max_requeues(2),
+        Arc::new(PanicFirst::new(2)),
+    );
+    let mut platform = rw1_platform(17);
+    let ids = platform.worker_ids();
+    let shards = WorkerShards::by_count(ids.len(), 4);
+    let record = service
+        .assign_learning_batch(&mut platform, &ids, 6, &shards)
+        .unwrap();
+    let eval = service
+        .evaluate_working_accuracy(&mut platform, &ids, &shards)
+        .unwrap();
+    assert_eq!(record, reference.0);
+    assert_eq!(eval.to_bits(), reference.1.to_bits());
+}
+
+#[test]
+fn executors_lost_past_the_requeue_budget_fail_typed_and_commit_nothing() {
+    let service = ShardService::with_transport(
+        ServiceConfig::default()
+            .with_executors(2)
+            .with_max_requeues(1),
+        Arc::new(AlwaysPanic),
+    );
+    let mut platform = rw1_platform(17);
+    let ids = platform.worker_ids();
+    let shards = WorkerShards::by_count(ids.len(), 4);
+    let err = service
+        .assign_learning_batch(&mut platform, &ids, 6, &shards)
+        .unwrap_err();
+    // Attempts 1 and (after the requeue) 2 both crash; the slot fails typed.
+    assert_eq!(err, ServiceError::ExecutorLost { attempts: 2 });
+    // Nothing was committed: the platform is exactly as before the call.
+    assert_eq!(platform.budget_spent(), 0);
+    assert_eq!(platform.rounds_run(), 0);
+    // The same round through a healthy service still succeeds afterwards.
+    let healthy = ShardService::new(ServiceConfig::default().with_executors(2));
+    healthy
+        .assign_learning_batch(&mut platform, &ids, 6, &shards)
+        .unwrap();
+    assert_eq!(platform.rounds_run(), 1);
+}
+
+/// How a response frame is poisoned on the wire.
+#[derive(Clone, Copy, Debug)]
+enum Poison {
+    /// Drop the last byte of the frame.
+    Truncate,
+    /// Flip a bit of the magic.
+    BadMagic,
+    /// Bump the version byte.
+    BadVersion,
+}
+
+/// Executes normally, then corrupts the encoded response frame before
+/// decoding it — a transport whose inbound wire leg is poisoned.
+struct PoisonedWire {
+    poison: Poison,
+    inner: LocalTransport<InProcessExecutor>,
+}
+
+impl ShardTransport for PoisonedWire {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        let response = self.inner.execute(request)?;
+        let frame = match response {
+            ShardResponse::Sheets(s) => Frame::Sheets(s),
+            ShardResponse::Estimates(e) => Frame::Estimates(e),
+        };
+        let mut wire = encode_frame(&frame)?;
+        match self.poison {
+            Poison::Truncate => {
+                wire.pop();
+            }
+            Poison::BadMagic => wire[0] ^= 0x01,
+            Poison::BadVersion => wire[4] = wire[4].wrapping_add(1),
+        }
+        // The decode must fail typed; a poisoned frame never yields a frame.
+        match decode_frame(&wire) {
+            Ok(_) => Err(ServiceError::Protocol {
+                what: "poisoned frame decoded successfully",
+            }),
+            Err(codec_err) => Err(ServiceError::Codec(codec_err)),
+        }
+    }
+}
+
+#[test]
+fn poisoned_frames_fail_typed_and_never_commit_a_wrong_answer() {
+    let cases = [
+        (Poison::Truncate, CodecError::Truncated),
+        (Poison::BadMagic, CodecError::BadMagic),
+        (Poison::BadVersion, CodecError::UnsupportedVersion(2)),
+    ];
+    for (poison, expected) in cases {
+        let service = ShardService::with_transport(
+            ServiceConfig::default().with_executors(2),
+            Arc::new(PoisonedWire {
+                poison,
+                inner: LocalTransport::<InProcessExecutor>::default(),
+            }),
+        );
+        let mut platform = rw1_platform(19);
+        let ids = platform.worker_ids();
+        let shards = WorkerShards::by_count(ids.len(), 3);
+        let err = service
+            .assign_learning_batch(&mut platform, &ids, 6, &shards)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Codec(expected), "{poison:?}");
+        // Typed error, no commit: the platform never sees a corrupted sheet.
+        assert_eq!(platform.budget_spent(), 0, "{poison:?}");
+        assert_eq!(platform.rounds_run(), 0, "{poison:?}");
+    }
+}
+
+/// Blocks every execution until the shared gate opens.
+struct GatedTransport {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+    inner: LocalTransport<InProcessExecutor>,
+}
+
+impl ShardTransport for GatedTransport {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, ServiceError> {
+        let (lock, opened) = &*self.gate;
+        let mut open = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*open {
+            open = opened.wait(open).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(open);
+        self.inner.execute(request)
+    }
+}
+
+#[test]
+fn full_queue_times_out_typed_and_the_batch_still_completes() {
+    // Capacity-1 queue, one executor parked on a closed gate: the first job
+    // occupies the executor, the second fills the queue, and the third can
+    // only time out.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let service = ShardService::with_transport(
+        ServiceConfig::default()
+            .with_executors(1)
+            .with_queue_capacity(1)
+            .with_enqueue_timeout(Some(Duration::from_millis(20))),
+        Arc::new(GatedTransport {
+            gate: Arc::clone(&gate),
+            inner: LocalTransport::<InProcessExecutor>::default(),
+        }),
+    );
+    // Open the gate once the overflow slot has had time to expire, so the
+    // parked jobs drain and the batch completes instead of hanging.
+    let opener = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            let (lock, opened) = &*gate;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            opened.notify_all();
+        })
+    };
+    let mut platform = rw1_platform(29);
+    let ids = platform.worker_ids();
+    let shards = WorkerShards::by_count(ids.len(), 3);
+    let err = service
+        .assign_learning_batch(&mut platform, &ids, 6, &shards)
+        .unwrap_err();
+    assert_eq!(err, ServiceError::QueueFull { capacity: 1 });
+    assert_eq!(platform.budget_spent(), 0);
+    assert_eq!(platform.rounds_run(), 0);
+    opener.join().expect("gate opener thread");
+    // With the gate open the same service completes the round normally.
+    let record = service
+        .assign_learning_batch(&mut platform, &ids, 6, &shards)
+        .unwrap();
+    let reference = rw1_platform(29)
+        .assign_learning_batch_sharded(&ids, 6, &shards)
+        .unwrap();
+    assert_eq!(record, reference);
+}
