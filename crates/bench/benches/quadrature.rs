@@ -46,30 +46,11 @@ use c4u_bench::{
     math_tag, quad_math_modes, quadrature_baseline_path, quadrature_report_path,
     render_quadrature_run, QuadratureCell,
 };
+use c4u_env::C4uEnv;
 use c4u_stats::{
     binomial_normal_moments, BinomialNormalBatch, GaussLegendre, QuadratureMath, QuadratureScratch,
 };
 use std::time::Instant;
-
-/// Parses a comma-separated `usize` list from the environment.
-fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
-    match std::env::var(name) {
-        Ok(raw) if !raw.is_empty() => raw
-            .split(',')
-            .filter_map(|v| v.trim().parse().ok())
-            .filter(|&v| v > 0)
-            .collect(),
-        _ => default.to_vec(),
-    }
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
-}
 
 /// Deterministic per-worker cells shaped like a CPE mask group: conditional
 /// means spread across the accuracy range, modest answer counts.
@@ -95,9 +76,11 @@ fn median_ns(samples: &mut [f64]) -> f64 {
 const SIGMA: f64 = 0.12;
 
 fn main() {
-    let workers_sweep = env_list("C4U_QUAD_WORKERS", &[1_000, 10_000, 100_000, 1_000_000]);
-    let nodes_sweep = env_list("C4U_QUAD_NODES", &[16, 32, 64]);
-    let samples = env_usize("C4U_QUAD_SAMPLES", 7);
+    // One typed snapshot covers every knob; misspelled C4U_* names warn here.
+    let env = C4uEnv::from_env();
+    let workers_sweep = env.quad_workers;
+    let nodes_sweep = env.quad_nodes;
+    let samples = env.quad_samples;
     let maths = quad_math_modes();
 
     // Baseline first: when the gate is armed, the comparison target is the

@@ -54,28 +54,9 @@ use c4u_bench::{
     render_service_run, service_baseline_path, service_report_path, ServiceCell,
 };
 use c4u_crowd_sim::{generate, DatasetConfig, Platform, WorkerShards};
+use c4u_env::C4uEnv;
 use c4u_service::{ServiceConfig, ShardService};
 use std::time::Instant;
-
-/// Parses a comma-separated `usize` list from the environment.
-fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
-    match std::env::var(name) {
-        Ok(raw) if !raw.is_empty() => raw
-            .split(',')
-            .filter_map(|v| v.trim().parse().ok())
-            .filter(|&v| v > 0)
-            .collect(),
-        _ => default.to_vec(),
-    }
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
-}
 
 /// The large-pool dataset: S-1 accuracy moments, scaled pool (the
 /// `platform_shards` bench's S-XL shape, pool size swept).
@@ -95,11 +76,13 @@ fn median_ns(samples: &mut [f64]) -> f64 {
 }
 
 fn main() {
-    let workers_sweep = env_list("C4U_SERVICE_BENCH_WORKERS", &[100_000, 1_000_000]);
-    let shards_sweep = env_list("C4U_SERVICE_BENCH_SHARDS", &[8]);
-    let executors_sweep = env_list("C4U_SERVICE_BENCH_EXECUTORS", &[1, 4]);
-    let tasks = env_usize("C4U_SERVICE_BENCH_TASKS", 10);
-    let samples = env_usize("C4U_SERVICE_BENCH_SAMPLES", 5);
+    // One typed snapshot covers every knob; misspelled C4U_* names warn here.
+    let env = C4uEnv::from_env();
+    let workers_sweep = env.service_bench_workers;
+    let shards_sweep = env.service_bench_shards;
+    let executors_sweep = env.service_bench_executors;
+    let tasks = env.service_bench_tasks;
+    let samples = env.service_bench_samples;
 
     // Baseline first: when the gate is armed, the comparison target is the
     // newest run already on file — before this run is appended to it.

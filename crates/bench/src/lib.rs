@@ -9,7 +9,10 @@
 //! each alongside the paper's numbers.
 //!
 //! The harness honours a few environment variables so that quick smoke runs and
-//! full paper-fidelity runs use the same code:
+//! full paper-fidelity runs use the same code. All of them are declared in the
+//! [`c4u_env`] knob registry — [`c4u_env::render_knob_table`] prints the full
+//! table, and unknown `C4U_*` names warn on the first read instead of being
+//! silently ignored:
 //!
 //! * `C4U_CPE_EPOCHS` — gradient-descent epochs per CPE round (default 10; the paper
 //!   uses 50, which scales the runtime accordingly without changing the rankings);
@@ -56,7 +59,8 @@ pub use report::{
     SERVICE_BASELINE_ENV,
 };
 
-use c4u_crowd_sim::{generate, Dataset, DatasetConfig, SimError};
+use c4u_crowd_sim::{generate, CampaignSchedule, Dataset, DatasetConfig, Platform, SimError};
+use c4u_env::{C4uEnv, QuadMathKnob};
 use c4u_selection::{
     evaluate_strategy_with_k, CrossDomainSelector, EstimationMode, GroundTruthOracle, LiEtAl,
     MedianEliminationBaseline, QuadratureMath, SelectorConfig, UniformSampling, WorkerSelector,
@@ -67,39 +71,28 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default number of CPE gradient-descent epochs used by the bench targets.
-pub const DEFAULT_EPOCHS: usize = 10;
+pub const DEFAULT_EPOCHS: usize = c4u_env::DEFAULT_CPE_EPOCHS;
 /// Default number of answering-noise seeds averaged per experiment cell.
-pub const DEFAULT_TRIALS: usize = 2;
+pub const DEFAULT_TRIALS: usize = c4u_env::DEFAULT_TRIALS;
 /// Base answering-noise seed; trial `i` uses `BASE_SEED + 1000 * i`.
 pub const BASE_SEED: u64 = 20_240_610;
 
-/// Reads `C4U_CPE_EPOCHS` (default [`DEFAULT_EPOCHS`]).
+/// Reads `C4U_CPE_EPOCHS` (default [`DEFAULT_EPOCHS`]) via the
+/// [`c4u_env`] knob registry.
 pub fn cpe_epochs() -> usize {
-    std::env::var("C4U_CPE_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(DEFAULT_EPOCHS)
+    C4uEnv::from_env().cpe_epochs
 }
 
 /// Reads `C4U_TRIALS` (default [`DEFAULT_TRIALS`]).
 pub fn trials() -> usize {
-    std::env::var("C4U_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(DEFAULT_TRIALS)
+    C4uEnv::from_env().trials
 }
 
 /// Reads `C4U_SHARDS` (default 1): the worker-range shard count handed to
 /// every [`CrossDomainSelector`] the harness builds. The selection is
 /// identical for every value; only the wall-clock changes.
 pub fn num_shards() -> usize {
-    std::env::var("C4U_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(1)
+    C4uEnv::from_env().shards
 }
 
 /// Reads `C4U_QUAD_MATH` as a single fold-pass mode for the table/figure
@@ -109,8 +102,8 @@ pub fn num_shards() -> usize {
 /// else — including `both`, which only the roofline bench distinguishes —
 /// stays `Exact`.
 pub fn quad_math() -> QuadratureMath {
-    match std::env::var("C4U_QUAD_MATH").as_deref() {
-        Ok("fast_vector") => QuadratureMath::FastVector,
+    match C4uEnv::from_env().quad_math {
+        QuadMathKnob::FastVector => QuadratureMath::FastVector,
         _ => QuadratureMath::Exact,
     }
 }
@@ -119,9 +112,9 @@ pub fn quad_math() -> QuadratureMath {
 /// sweeps: `exact` or `fast_vector` narrow it to one mode, everything else
 /// (including the default) times `both` side by side.
 pub fn quad_math_modes() -> Vec<QuadratureMath> {
-    match std::env::var("C4U_QUAD_MATH").as_deref() {
-        Ok("exact") => vec![QuadratureMath::Exact],
-        Ok("fast_vector") => vec![QuadratureMath::FastVector],
+    match C4uEnv::from_env().quad_math {
+        QuadMathKnob::Exact => vec![QuadratureMath::Exact],
+        QuadMathKnob::FastVector => vec![QuadratureMath::FastVector],
         _ => vec![QuadratureMath::Exact, QuadratureMath::FastVector],
     }
 }
@@ -222,31 +215,55 @@ impl StrategyKind {
     /// Builds the selector with the given CPE epoch budget and initial target
     /// accuracy `a_T`.
     pub fn build(&self, epochs: usize, initial_target_accuracy: f64) -> Box<dyn WorkerSelector> {
+        if let Some(selector) = self.zoo_selector(epochs, initial_target_accuracy) {
+            return Box::new(selector);
+        }
+        match self {
+            StrategyKind::UniformSampling => Box::new(UniformSampling::new()),
+            StrategyKind::MedianElimination => Box::new(MedianEliminationBaseline::new()),
+            StrategyKind::LiEtAl => Box::new(LiEtAl::new()),
+            StrategyKind::GroundTruth => Box::new(GroundTruthOracle::new()),
+            // zoo_selector covered every stage-pipeline kind above.
+            _ => unreachable!("stage-zoo kinds are built by zoo_selector"),
+        }
+    }
+
+    /// Builds the concrete [`CrossDomainSelector`] for a stage-zoo kind, or
+    /// `None` for the non-pipeline baselines (US, ME, Li et al., oracle).
+    ///
+    /// The robustness sweep needs the concrete type: an open-world (churn)
+    /// campaign runs through [`CrossDomainSelector::run_with_events`], which
+    /// the type-erased [`WorkerSelector`] seam deliberately does not expose.
+    pub fn zoo_selector(
+        &self,
+        epochs: usize,
+        initial_target_accuracy: f64,
+    ) -> Option<CrossDomainSelector> {
         let mut config = SelectorConfig::default();
         config.cpe.epochs = epochs;
         config.cpe.initial_target_accuracy = initial_target_accuracy;
         config.cpe.quadrature_math = quad_math();
         config.num_shards = num_shards();
-        match self {
-            StrategyKind::UniformSampling => Box::new(UniformSampling::new()),
-            StrategyKind::MedianElimination => Box::new(MedianEliminationBaseline::new()),
-            StrategyKind::LiEtAl => Box::new(LiEtAl::new()),
-            StrategyKind::MeCpe => Box::new(CrossDomainSelector::new(config.cpe_only())),
-            StrategyKind::Ours => Box::new(CrossDomainSelector::new(config)),
-            StrategyKind::GroundTruth => Box::new(GroundTruthOracle::new()),
-            StrategyKind::LgeOnly => Box::new(CrossDomainSelector::new(
-                config.with_mode(EstimationMode::LgeOnly),
-            )),
-            StrategyKind::BktOnly => Box::new(CrossDomainSelector::new(
-                config.with_mode(EstimationMode::BktOnly),
-            )),
-            StrategyKind::RaschCalibrated => Box::new(CrossDomainSelector::new(
-                config.with_mode(EstimationMode::RaschCalibrated),
-            )),
-            StrategyKind::CpeBktEnsemble => Box::new(CrossDomainSelector::new(
-                config.with_mode(EstimationMode::CpeBktEnsemble),
-            )),
-        }
+        Some(match self {
+            StrategyKind::MeCpe => CrossDomainSelector::new(config.cpe_only()),
+            StrategyKind::Ours => CrossDomainSelector::new(config),
+            StrategyKind::LgeOnly => {
+                CrossDomainSelector::new(config.with_mode(EstimationMode::LgeOnly))
+            }
+            StrategyKind::BktOnly => {
+                CrossDomainSelector::new(config.with_mode(EstimationMode::BktOnly))
+            }
+            StrategyKind::RaschCalibrated => {
+                CrossDomainSelector::new(config.with_mode(EstimationMode::RaschCalibrated))
+            }
+            StrategyKind::CpeBktEnsemble => {
+                CrossDomainSelector::new(config.with_mode(EstimationMode::CpeBktEnsemble))
+            }
+            StrategyKind::UniformSampling
+            | StrategyKind::MedianElimination
+            | StrategyKind::LiEtAl
+            | StrategyKind::GroundTruth => return None,
+        })
     }
 }
 
@@ -387,6 +404,45 @@ pub fn evaluate_cell_on(dataset: &Dataset, spec: &CellSpec) -> Cell {
         mean_accuracy: c4u_stats::mean(&accuracies),
         std_accuracy: c4u_stats::std_dev(&accuracies),
     }
+}
+
+/// Evaluates one cell of the Table-IV-style robustness sweep: one stage-zoo
+/// strategy under one scenario preset, averaged over answering-noise seeds.
+///
+/// Spammer, colluder, and drift scenarios are baked into the generated
+/// dataset, so they run the ordinary closed-world campaign. A churn scenario
+/// additionally derives its deterministic join/leave [`CampaignSchedule`]
+/// from the configuration and runs the **open-world** loop
+/// ([`CrossDomainSelector::run_with_events`]); the schedule depends only on
+/// the dataset seed, so the cell stays reproducible and shard-invariant
+/// (`tests/churn_determinism.rs`).
+pub fn evaluate_robustness_cell(
+    config: &DatasetConfig,
+    kind: StrategyKind,
+    epochs: usize,
+    seeds: &[u64],
+) -> Result<Cell, c4u_selection::SelectionError> {
+    let selector =
+        kind.zoo_selector(epochs, 0.5)
+            .ok_or(c4u_selection::SelectionError::InvalidConfig {
+                what: "robustness sweep covers the stage-zoo strategies only",
+                value: 0.0,
+            })?;
+    let dataset = cached_generate(config)?;
+    let rounds = c4u_selection::rounds_until_at_most(config.pool_size, config.select_k);
+    let schedule = CampaignSchedule::churn(config, rounds)?;
+    let mut accuracies = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut platform = Platform::from_dataset(&dataset, seed)?;
+        let report = selector.run_with_events(&mut platform, config.select_k, &schedule)?;
+        accuracies.push(platform.evaluate_working_accuracy(&report.outcome.selected)?);
+    }
+    Ok(Cell {
+        dataset: config.name.clone(),
+        strategy: kind.name().to_string(),
+        mean_accuracy: c4u_stats::mean(&accuracies),
+        std_accuracy: c4u_stats::std_dev(&accuracies),
+    })
 }
 
 /// Evaluates one cell, generating (or reusing a memoised copy of) the dataset

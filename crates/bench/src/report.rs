@@ -28,7 +28,7 @@ use std::path::Path;
 /// Environment variable naming the quadrature report path. Empty disables
 /// writing; unset uses [`QUADRATURE_REPORT_DEFAULT`] (relative to the `cargo
 /// bench` working directory, i.e. the workspace root).
-pub const QUADRATURE_REPORT_ENV: &str = "C4U_QUAD_REPORT";
+pub const QUADRATURE_REPORT_ENV: &str = c4u_env::names::QUAD_REPORT;
 
 /// Default quadrature report file name, placed at the workspace root (bench
 /// binaries run with the package directory as working directory, so the
@@ -37,14 +37,14 @@ pub const QUADRATURE_REPORT_DEFAULT: &str = "BENCH_quadrature.json";
 
 /// Environment variable enabling the trajectory regression gate (`"1"` turns
 /// it on; anything else leaves the bench report-only).
-pub const BENCH_GATE_ENV: &str = "C4U_BENCH_GATE";
+pub const BENCH_GATE_ENV: &str = c4u_env::names::BENCH_GATE;
 
 /// Environment variable overriding the gate's baseline trajectory file.
 /// Unset or empty falls back to the committed default report location —
 /// deliberately independent of [`QUADRATURE_REPORT_ENV`], so a smoke run that
 /// redirects (or disables) report *writing* still gates against the committed
 /// history.
-pub const QUADRATURE_BASELINE_ENV: &str = "C4U_QUAD_BASELINE";
+pub const QUADRATURE_BASELINE_ENV: &str = c4u_env::names::QUAD_BASELINE;
 
 /// Allowed fractional regression of batched ns per worker-node before the
 /// gate fails a cell (25%: far above timing noise on a shared CI core, well
@@ -181,11 +181,9 @@ pub fn append_quadrature_run(path: &Path, run_line: &str) -> io::Result<()> {
 /// The report path from `C4U_QUAD_REPORT`: `None` when explicitly disabled
 /// with an empty value, the default path when unset.
 pub fn quadrature_report_path() -> Option<std::path::PathBuf> {
-    match std::env::var_os(QUADRATURE_REPORT_ENV) {
-        Some(v) if v.is_empty() => None,
-        Some(v) => Some(std::path::PathBuf::from(v)),
-        None => Some(default_report_path()),
-    }
+    c4u_env::C4uEnv::from_env()
+        .quad_report
+        .or_default(default_report_path())
 }
 
 /// The committed trajectory location of a report file (manifest-relative, so
@@ -204,17 +202,16 @@ fn default_report_path() -> std::path::PathBuf {
 /// non-zero) on any cell regressing more than [`GATE_REGRESSION_LIMIT`]
 /// against the newest committed trajectory run.
 pub fn bench_gate_enabled() -> bool {
-    std::env::var(BENCH_GATE_ENV).is_ok_and(|v| v == "1")
+    c4u_env::C4uEnv::from_env().bench_gate
 }
 
 /// The gate's baseline trajectory file: `C4U_QUAD_BASELINE` when set and
 /// non-empty, otherwise the committed default report — independent of where
 /// (or whether) the current run writes its own report.
 pub fn quadrature_baseline_path() -> std::path::PathBuf {
-    match std::env::var_os(QUADRATURE_BASELINE_ENV) {
-        Some(v) if !v.is_empty() => std::path::PathBuf::from(v),
-        _ => default_report_path(),
-    }
+    c4u_env::C4uEnv::from_env()
+        .quad_baseline
+        .or_fallback(default_report_path())
 }
 
 /// Locates `"key":` inside one cell object and returns the raw value text up
@@ -328,7 +325,7 @@ pub fn gate_quadrature_cells(
 
 /// Environment variable naming the service report path. Empty disables
 /// writing; unset uses [`SERVICE_REPORT_DEFAULT`] at the workspace root.
-pub const SERVICE_REPORT_ENV: &str = "C4U_SERVICE_REPORT";
+pub const SERVICE_REPORT_ENV: &str = c4u_env::names::SERVICE_REPORT;
 
 /// Default service report file name (committed at the workspace root).
 pub const SERVICE_REPORT_DEFAULT: &str = "BENCH_service.json";
@@ -336,7 +333,7 @@ pub const SERVICE_REPORT_DEFAULT: &str = "BENCH_service.json";
 /// Environment variable overriding the service gate's baseline trajectory
 /// file; unset or empty falls back to the committed default report —
 /// independent of [`SERVICE_REPORT_ENV`], like the quadrature pair.
-pub const SERVICE_BASELINE_ENV: &str = "C4U_SERVICE_BASELINE";
+pub const SERVICE_BASELINE_ENV: &str = c4u_env::names::SERVICE_BASELINE;
 
 /// One `(workers, shards, executors)` cell of the service sweep: median
 /// wall-clock of one full learning round through the [`ShardService`]
@@ -405,20 +402,17 @@ pub fn append_service_run(path: &Path, run_line: &str) -> io::Result<()> {
 /// The report path from `C4U_SERVICE_REPORT`: `None` when explicitly disabled
 /// with an empty value, the committed default when unset.
 pub fn service_report_path() -> Option<std::path::PathBuf> {
-    match std::env::var_os(SERVICE_REPORT_ENV) {
-        Some(v) if v.is_empty() => None,
-        Some(v) => Some(std::path::PathBuf::from(v)),
-        None => Some(committed_report_path(SERVICE_REPORT_DEFAULT)),
-    }
+    c4u_env::C4uEnv::from_env()
+        .service_report
+        .or_default(committed_report_path(SERVICE_REPORT_DEFAULT))
 }
 
 /// The service gate's baseline trajectory file: `C4U_SERVICE_BASELINE` when
 /// set and non-empty, otherwise the committed default report.
 pub fn service_baseline_path() -> std::path::PathBuf {
-    match std::env::var_os(SERVICE_BASELINE_ENV) {
-        Some(v) if !v.is_empty() => std::path::PathBuf::from(v),
-        _ => committed_report_path(SERVICE_REPORT_DEFAULT),
-    }
+    c4u_env::C4uEnv::from_env()
+        .service_baseline
+        .or_fallback(committed_report_path(SERVICE_REPORT_DEFAULT))
 }
 
 /// Parses the cells of one service run line back into [`ServiceCell`]s; cells

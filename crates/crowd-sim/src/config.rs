@@ -42,6 +42,88 @@ impl DomainStats {
     }
 }
 
+/// Population scenario overlay for robustness experiments.
+///
+/// The paper's datasets are closed-world and benign; production campaigns are
+/// not. A scenario deforms the generated population (spammers, colluders),
+/// the learning dynamics (drift), or the campaign membership (churn), so the
+/// Table-4-style robustness sweep can measure how each estimator degrades.
+/// The default scenario is the identity: every field zero, and the generator
+/// then performs **exactly** the same RNG draws as before this type existed,
+/// so all closed-world results are bit-for-bit unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Fraction of the pool generated as spammers: workers whose historical
+    /// profile looks ordinary but whose true target-domain accuracy is chance
+    /// (0.5) and who never improve with training.
+    pub spammer_fraction: f64,
+    /// Fraction of the pool generated as colluders: a group sharing one
+    /// fabricated, uniformly strong historical profile while their true
+    /// target-domain accuracy is below chance-plus-noise.
+    pub colluder_fraction: f64,
+    /// Per-revealed-task accuracy decay (fatigue-style drift): each learning
+    /// task lowers the worker's true target accuracy by this amount on top of
+    /// the IRT learning curve. Zero disables drift exactly.
+    pub accuracy_drift: f64,
+    /// Workers joining the campaign per mid-campaign round in the churn
+    /// schedule preset ([`crate::CampaignSchedule::churn`]).
+    pub churn_joins_per_round: usize,
+    /// Departures per mid-campaign round in the churn schedule preset.
+    pub churn_leaves_per_round: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            spammer_fraction: 0.0,
+            colluder_fraction: 0.0,
+            accuracy_drift: 0.0,
+            churn_joins_per_round: 0,
+            churn_leaves_per_round: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The identity scenario: a benign, closed-world population.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this is the identity scenario (no adversaries, no drift, no churn).
+    pub fn is_closed_world(&self) -> bool {
+        self == &Self::default()
+    }
+
+    /// Validates the scenario parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (what, value) in [
+            ("spammer_fraction must lie in [0, 1)", self.spammer_fraction),
+            (
+                "colluder_fraction must lie in [0, 1)",
+                self.colluder_fraction,
+            ),
+        ] {
+            if !(0.0..1.0).contains(&value) || value.is_nan() {
+                return Err(SimError::InvalidConfig { what, value });
+            }
+        }
+        if self.spammer_fraction + self.colluder_fraction >= 1.0 {
+            return Err(SimError::InvalidConfig {
+                what: "spammer and colluder fractions must sum below 1",
+                value: self.spammer_fraction + self.colluder_fraction,
+            });
+        }
+        if !(0.0..0.5).contains(&self.accuracy_drift) || self.accuracy_drift.is_nan() {
+            return Err(SimError::InvalidConfig {
+                what: "accuracy_drift must lie in [0, 0.5)",
+                value: self.accuracy_drift,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Full specification of a dataset to be generated by the simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetConfig {
@@ -75,6 +157,10 @@ pub struct DatasetConfig {
     /// implied prior/target correlations match the values the paper reports in
     /// Sec. V-H.
     pub factor_loadings: Option<Vec<f64>>,
+    /// Robustness scenario overlay (spammers, colluders, drift, churn). The
+    /// default is the closed-world identity scenario, under which generation
+    /// is bit-for-bit what it was before scenarios existed.
+    pub scenario: ScenarioConfig,
 }
 
 impl DatasetConfig {
@@ -116,7 +202,7 @@ impl DatasetConfig {
                 value: 0.0,
             });
         }
-        Ok(())
+        self.scenario.validate()
     }
 
     /// Number of prior domains `D`.
@@ -181,6 +267,64 @@ impl DatasetConfig {
         }
     }
 
+    /// A copy of this configuration with a different robustness scenario (used
+    /// by the robustness sweep).
+    pub fn with_scenario(&self, scenario: ScenarioConfig) -> Self {
+        Self {
+            scenario,
+            ..self.clone()
+        }
+    }
+
+    /// RW-1 with a 20% spammer sub-population: ordinary-looking profiles,
+    /// chance-level target accuracy, no learning.
+    pub fn rw1_spammers() -> Self {
+        let mut config = Self::rw1();
+        config.name = "RW-1-spam".to_string();
+        config.scenario.spammer_fraction = 0.2;
+        config
+    }
+
+    /// RW-1 with a 20% colluder group: one shared, fabricated strong profile
+    /// hiding below-average target-domain accuracy.
+    pub fn rw1_colluders() -> Self {
+        let mut config = Self::rw1();
+        config.name = "RW-1-collude".to_string();
+        config.scenario.colluder_fraction = 0.2;
+        config
+    }
+
+    /// RW-1 with fatigue-style accuracy drift: every revealed learning task
+    /// erodes the trained accuracy slightly.
+    pub fn rw1_drift() -> Self {
+        let mut config = Self::rw1();
+        config.name = "RW-1-drift".to_string();
+        config.scenario.accuracy_drift = 0.002;
+        config
+    }
+
+    /// RW-1 with worker churn: two joins and one departure per mid-campaign
+    /// round (consumed by [`crate::CampaignSchedule::churn`]).
+    pub fn rw1_churn() -> Self {
+        let mut config = Self::rw1();
+        config.name = "RW-1-churn".to_string();
+        config.scenario.churn_joins_per_round = 2;
+        config.scenario.churn_leaves_per_round = 1;
+        config
+    }
+
+    /// The robustness-sweep scenario family: the closed-world baseline plus the
+    /// four stress presets, all over the RW-1 pool.
+    pub fn robustness_scenarios() -> Vec<Self> {
+        vec![
+            Self::rw1(),
+            Self::rw1_spammers(),
+            Self::rw1_colluders(),
+            Self::rw1_drift(),
+            Self::rw1_churn(),
+        ]
+    }
+
     /// The RW-1 surrogate: 27 workers, Q = 10, k = 7; prior domains elephant /
     /// clownfish / plane, target petunia. Accuracy moments from Table IV.
     pub fn rw1() -> Self {
@@ -222,6 +366,7 @@ impl DatasetConfig {
             // Implied correlations with the target: 0.65 (elephant), 0.69 (fish),
             // 0.50 (plane) — the values the paper estimates on RW-1 (Sec. V-H).
             factor_loadings: Some(vec![0.76, 0.81, 0.59, 0.85]),
+            scenario: ScenarioConfig::default(),
         }
     }
 
@@ -263,6 +408,7 @@ impl DatasetConfig {
             // Implied correlations with the target: 0.23 (Peruvian lily), 0.10
             // (red fox), 0.68 (English marigold) — the Sec. V-H estimates for RW-2.
             factor_loadings: Some(vec![0.29, 0.13, 0.85, 0.80]),
+            scenario: ScenarioConfig::default(),
         }
     }
 
@@ -355,6 +501,7 @@ impl DatasetConfig {
             seed,
             descriptors: Vec::new(),
             factor_loadings: None,
+            scenario: ScenarioConfig::default(),
         }
     }
 }

@@ -29,29 +29,10 @@ pub fn generate(config: &DatasetConfig) -> Result<Dataset, SimError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let mvn = build_population_model(config, &mut rng)?;
-    let d = config.num_prior_domains();
 
     let mut workers = Vec::with_capacity(config.pool_size);
     for _ in 0..config.pool_size {
-        let v = mvn.sample_truncated(&mut rng, 1e-3, 1.0 - 1e-3);
-        let latent_prior: Vec<f64> = (0..d).map(|j| v[j]).collect();
-        let target = v[d];
-
-        // Observed historical profile: the worker answers `prior_tasks_per_domain`
-        // Yes/No tasks on each prior domain with the latent accuracy.
-        let mut observed = Vec::with_capacity(d);
-        for &acc in &latent_prior {
-            let bern = Bernoulli::new(acc.clamp(0.0, 1.0))?;
-            let correct = bern.count_successes(&mut rng, config.prior_tasks_per_domain);
-            observed.push(Some(correct as f64 / config.prior_tasks_per_domain as f64));
-        }
-        let profile = HistoricalProfile::new(observed, vec![config.prior_tasks_per_domain; d])?;
-        workers.push(WorkerSpec {
-            profile,
-            initial_target_accuracy: target,
-            latent_prior_accuracies: latent_prior,
-            learning_aptitude: 0.0,
-        });
+        workers.push(sample_worker_spec(&mvn, config, &mut rng)?);
     }
 
     // Learning aptitude: the z-score of each worker's average latent prior-domain
@@ -71,6 +52,8 @@ pub fn generate(config: &DatasetConfig) -> Result<Dataset, SimError> {
         worker.learning_aptitude = (avg - pool_mean) / pool_std;
     }
 
+    apply_scenario(&mut workers, config)?;
+
     let learning_tasks = TaskPool::generate(
         &mut rng,
         config.learning_task_pool_size(),
@@ -85,6 +68,80 @@ pub fn generate(config: &DatasetConfig) -> Result<Dataset, SimError> {
     );
 
     Dataset::new(config.clone(), workers, learning_tasks, working_tasks)
+}
+
+/// Samples one worker specification from the population model, preserving the exact
+/// RNG draw order of the original closed-world generator: one truncated MVN sample,
+/// then `D` Bernoulli success counts (one per prior domain).
+///
+/// The churn scheduler reuses this routine (with its own RNG stream) so that joining
+/// workers are drawn from the same population as the initial pool.
+pub(crate) fn sample_worker_spec(
+    mvn: &MultivariateNormal,
+    config: &DatasetConfig,
+    rng: &mut StdRng,
+) -> Result<WorkerSpec, SimError> {
+    let d = config.num_prior_domains();
+    let v = mvn.sample_truncated(rng, 1e-3, 1.0 - 1e-3);
+    let latent_prior: Vec<f64> = (0..d).map(|j| v[j]).collect();
+    let target = v[d];
+
+    // Observed historical profile: the worker answers `prior_tasks_per_domain`
+    // Yes/No tasks on each prior domain with the latent accuracy.
+    let mut observed = Vec::with_capacity(d);
+    for &acc in &latent_prior {
+        let bern = Bernoulli::new(acc.clamp(0.0, 1.0))?;
+        let correct = bern.count_successes(rng, config.prior_tasks_per_domain);
+        observed.push(Some(correct as f64 / config.prior_tasks_per_domain as f64));
+    }
+    let profile = HistoricalProfile::new(observed, vec![config.prior_tasks_per_domain; d])?;
+    Ok(WorkerSpec {
+        profile,
+        initial_target_accuracy: target,
+        latent_prior_accuracies: latent_prior,
+        learning_aptitude: 0.0,
+    })
+}
+
+/// Applies the adversarial-population overlay of the configured scenario.
+///
+/// The overlay rewrites already-sampled workers in place and draws no randomness,
+/// so a configuration with zero spammer/colluder fractions produces a pool that is
+/// bit-for-bit identical to the closed-world generator (the equivalence contract in
+/// `tests/event_equivalence.rs` pins this).
+///
+/// * **Spammers** (last `round(n * spammer_fraction)` workers): keep their sampled
+///   historical profile — which is what makes them deceptive to profile-based
+///   selectors — but answer the target domain at coin-flip accuracy and never learn.
+/// * **Colluders** (first `round(n * colluder_fraction)` workers): share one
+///   fabricated high-accuracy profile, as if they had copied each other's history,
+///   while their true target accuracy is poor and training makes them worse.
+fn apply_scenario(workers: &mut [WorkerSpec], config: &DatasetConfig) -> Result<(), SimError> {
+    let scenario = &config.scenario;
+    let n = workers.len();
+    let d = config.num_prior_domains();
+
+    let num_colluders = (n as f64 * scenario.colluder_fraction).round() as usize;
+    if num_colluders > 0 {
+        let shared =
+            HistoricalProfile::new(vec![Some(0.9); d], vec![config.prior_tasks_per_domain; d])?;
+        for w in workers.iter_mut().take(num_colluders) {
+            w.profile = shared.clone();
+            w.initial_target_accuracy = 0.45;
+            w.latent_prior_accuracies = vec![0.9; d];
+            w.learning_aptitude = -1.0;
+        }
+    }
+
+    let num_spammers = (n as f64 * scenario.spammer_fraction).round() as usize;
+    if num_spammers > 0 {
+        for w in workers.iter_mut().skip(n.saturating_sub(num_spammers)) {
+            w.initial_target_accuracy = 0.5;
+            w.learning_aptitude = 0.0;
+        }
+    }
+
+    Ok(())
 }
 
 /// Builds the `(D+1)`-dimensional truncated-normal population model of Sec. V-A:
@@ -287,5 +344,57 @@ mod tests {
         let mut config = DatasetConfig::rw1();
         config.pool_size = 0;
         assert!(generate(&config).is_err());
+    }
+
+    #[test]
+    fn closed_world_scenario_is_bit_identical_to_plain_generation() {
+        use crate::config::ScenarioConfig;
+        let plain = generate(&DatasetConfig::rw1()).unwrap();
+        let scoped = generate(&DatasetConfig::rw1().with_scenario(ScenarioConfig::none())).unwrap();
+        assert_eq!(
+            plain.initial_target_accuracies(),
+            scoped.initial_target_accuracies()
+        );
+        assert_eq!(plain.learning_tasks, scoped.learning_tasks);
+        assert_eq!(plain.working_tasks, scoped.working_tasks);
+    }
+
+    #[test]
+    fn spammer_scenario_rewrites_only_the_tail_of_the_pool() {
+        let base = generate(&DatasetConfig::rw1()).unwrap();
+        let config = DatasetConfig::rw1_spammers();
+        let ds = generate(&config).unwrap();
+        let n = ds.pool_size();
+        let k = (n as f64 * config.scenario.spammer_fraction).round() as usize;
+        assert!(k > 0);
+        for (i, w) in ds.workers.iter().enumerate() {
+            if i >= n - k {
+                assert_eq!(w.initial_target_accuracy, 0.5, "worker {i} is a spammer");
+                assert_eq!(w.learning_aptitude, 0.0);
+                // The deceptive part: the sampled historical profile is untouched.
+                assert_eq!(w.profile, base.workers[i].profile);
+            } else {
+                assert_eq!(
+                    w.initial_target_accuracy,
+                    base.workers[i].initial_target_accuracy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colluder_scenario_shares_one_fabricated_profile() {
+        let config = DatasetConfig::rw1_colluders();
+        let ds = generate(&config).unwrap();
+        let n = ds.pool_size();
+        let k = (n as f64 * config.scenario.colluder_fraction).round() as usize;
+        assert!(k > 1);
+        let shared = &ds.workers[0].profile;
+        for (i, w) in ds.workers.iter().enumerate().take(k) {
+            assert_eq!(&w.profile, shared, "colluder {i} shares the profile");
+            assert_eq!(w.initial_target_accuracy, 0.45);
+            assert!(w.learning_aptitude < 0.0);
+        }
+        assert_ne!(&ds.workers[k].profile, shared);
     }
 }

@@ -18,7 +18,7 @@
 //!
 //! Missing prior-domain records are written as `-`.
 
-use crate::config::{DatasetConfig, DomainStats};
+use crate::config::{DatasetConfig, DomainStats, ScenarioConfig};
 use crate::dataset::Dataset;
 use crate::domain::Domain;
 use crate::task::{Task, TaskKind, TaskPool};
@@ -256,6 +256,9 @@ pub fn from_text(text: &str) -> Result<Dataset, SimError> {
         seed,
         descriptors: Vec::new(),
         factor_loadings: None,
+        // The text format predates scenarios and archives only the closed-world
+        // population; re-generated robustness datasets must come from configs.
+        scenario: ScenarioConfig::default(),
     };
     let learning_tasks = TaskPool::from_tasks(
         learning_gold

@@ -31,6 +31,12 @@
 //! * [`parallel`] — the workspace's scoped-thread work queue
 //!   ([`run_indexed_jobs`]), shared by the platform shards, the selection
 //!   crate's evaluation engine, and the bench harness;
+//! * the [`event`](crate::RoundEvents) model — [`RoundEvents`] /
+//!   [`CampaignSchedule`] describe mid-campaign worker churn as pure data;
+//!   [`Platform::apply_events`] applies a round's joins and departures while
+//!   preserving every survivor's answer streams, and
+//!   [`ScenarioConfig`] presets (spammers, colluders,
+//!   drift, churn) drive the Table-IV-style robustness sweeps;
 //! * [`consistency`](crate::consistency_report) helpers — the Table IV moment and
 //!   Pearson-correlation comparisons;
 //! * [`to_text`] / [`from_text`] — plain-text dataset archival.
@@ -57,6 +63,7 @@ mod consistency;
 mod dataset;
 mod domain;
 mod error;
+mod event;
 mod generator;
 mod io;
 pub mod parallel;
@@ -66,7 +73,7 @@ mod shard;
 mod task;
 mod worker;
 
-pub use config::{rounds_for, DatasetConfig, DomainStats};
+pub use config::{rounds_for, DatasetConfig, DomainStats, ScenarioConfig};
 pub use consistency::{
     consistency_report, distribution_correlation, moments_row, target_accuracy_histogram,
     ConsistencyReport, MomentsRow, DEFAULT_BUCKETS,
@@ -74,6 +81,7 @@ pub use consistency::{
 pub use dataset::Dataset;
 pub use domain::{Domain, DomainDescriptor, FeatureKind};
 pub use error::SimError;
+pub use event::{AppliedRoundEvents, CampaignSchedule, RoundEvents};
 pub use generator::{build_population_model, generate, generate_replicas};
 pub use io::{from_text, to_text};
 pub use parallel::run_indexed_jobs;

@@ -40,11 +40,12 @@
 //!   after the round's sheets are complete.
 
 use crate::dataset::Dataset;
+use crate::event::{AppliedRoundEvents, RoundEvents};
 use crate::parallel::run_indexed_jobs;
 use crate::serve::{merge_evaluation, AnswerShardRequest, EvaluateShardRequest, WorkerSnapshot};
 use crate::shard::WorkerShards;
 use crate::task::AnswerSheet;
-use crate::worker::{HistoricalProfile, SimulatedWorker, WorkerId};
+use crate::worker::{HistoricalProfile, SimulatedWorker, WorkerId, WorkerSpec};
 use crate::SimError;
 
 /// Stream tag of the learning-task answering noise (one stream family per
@@ -182,6 +183,10 @@ impl EvaluationPlan {
 #[derive(Debug, Clone)]
 pub struct Platform {
     workers: Vec<SimulatedWorker>,
+    /// Presence flag per worker id: joins push `true`, departures flip to
+    /// `false`. Ids are never reused, so every historical record stays valid
+    /// and survivors keep their (round, worker-id)-keyed answer streams.
+    active: Vec<bool>,
     learning_gold: Vec<bool>,
     working_gold: Vec<bool>,
     /// Base seed of the per-worker answering streams (see the module docs).
@@ -194,6 +199,13 @@ pub struct Platform {
     budget_spent: usize,
     learning_cursor: usize,
     history: Vec<RoundRecord>,
+    /// Learning-curve parameters applied to workers joining after construction
+    /// (identical to those of the initial pool).
+    target_difficulty: f64,
+    tasks_per_batch: usize,
+    /// Per-task accuracy drift of the dataset's scenario, applied to every
+    /// worker — initial and joining alike. Zero in the closed world.
+    accuracy_drift: f64,
 }
 
 impl Platform {
@@ -205,16 +217,28 @@ impl Platform {
     ///   (equivalently an untrained accuracy of 0.5); [`Platform::from_dataset`] uses
     ///   that default.
     pub fn new(dataset: &Dataset, seed: u64, target_difficulty: f64) -> Result<Self, SimError> {
+        let accuracy_drift = dataset.config.scenario.accuracy_drift;
         let workers: Result<Vec<_>, _> = dataset
             .workers
             .iter()
             .enumerate()
             .map(|(id, spec)| {
-                SimulatedWorker::new(id, spec, target_difficulty, dataset.config.tasks_per_batch)
+                let mut w = SimulatedWorker::new(
+                    id,
+                    spec,
+                    target_difficulty,
+                    dataset.config.tasks_per_batch,
+                )?;
+                if accuracy_drift > 0.0 {
+                    w.set_accuracy_drift(accuracy_drift)?;
+                }
+                Ok::<_, SimError>(w)
             })
             .collect();
+        let workers = workers?;
         Ok(Self {
-            workers: workers?,
+            active: vec![true; workers.len()],
+            workers,
             learning_gold: dataset
                 .learning_tasks
                 .tasks()
@@ -233,6 +257,9 @@ impl Platform {
             budget_spent: 0,
             learning_cursor: 0,
             history: Vec::new(),
+            target_difficulty,
+            tasks_per_batch: dataset.config.tasks_per_batch,
+            accuracy_drift,
         })
     }
 
@@ -300,6 +327,83 @@ impl Platform {
             .get(worker)
             .map(|w| w.cumulative_learning_tasks())
             .ok_or(SimError::UnknownWorker { id: worker })
+    }
+
+    /// Whether a worker is currently on the platform (joined and not departed).
+    /// Unknown ids are reported as inactive.
+    pub fn is_active(&self, worker: WorkerId) -> bool {
+        self.active.get(worker).copied().unwrap_or(false)
+    }
+
+    /// Identifiers of the workers currently on the platform, in id order.
+    pub fn active_worker_ids(&self) -> Vec<WorkerId> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &a)| a.then_some(id))
+            .collect()
+    }
+
+    /// Registers a new worker on the platform mid-campaign and returns its
+    /// freshly allocated identifier.
+    ///
+    /// The worker gets the next dense id and the same learning-curve parameters
+    /// (and scenario drift) as the initial pool. Because answer streams are
+    /// keyed by (round, worker id) — never by list position — adding a worker
+    /// does not perturb any existing worker's noise: the closed-world answers
+    /// of the incumbents are bit-for-bit unchanged (pinned by
+    /// `tests/churn_determinism.rs`).
+    pub fn add_worker(&mut self, spec: &WorkerSpec) -> Result<WorkerId, SimError> {
+        let id = self.workers.len();
+        let mut worker =
+            SimulatedWorker::new(id, spec, self.target_difficulty, self.tasks_per_batch)?;
+        if self.accuracy_drift > 0.0 {
+            worker.set_accuracy_drift(self.accuracy_drift)?;
+        }
+        self.workers.push(worker);
+        self.active.push(true);
+        Ok(id)
+    }
+
+    /// Marks a worker as departed. Its id is retired, never reused: historical
+    /// records stay valid and the survivors' answer streams are untouched.
+    ///
+    /// Errors on an unknown id or on a worker that has already left.
+    pub fn remove_worker(&mut self, worker: WorkerId) -> Result<(), SimError> {
+        match self.active.get_mut(worker) {
+            None => Err(SimError::UnknownWorker { id: worker }),
+            Some(active) if !*active => Err(SimError::InvalidConfig {
+                what: "worker has already left the platform",
+                value: worker as f64,
+            }),
+            Some(active) => {
+                *active = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies one round's worth of [`RoundEvents`]: joins first (in event
+    /// order, so the allocated ids are deterministic), then departures.
+    ///
+    /// Departures of workers that already left are skipped silently — in an
+    /// online campaign a leave notice can race a previous one — while unknown
+    /// ids are still hard errors. Returns the ids actually joined/departed.
+    pub fn apply_events(&mut self, events: &RoundEvents) -> Result<AppliedRoundEvents, SimError> {
+        let mut applied = AppliedRoundEvents::default();
+        for spec in &events.joins {
+            applied.joined.push(self.add_worker(spec)?);
+        }
+        for &id in &events.leaves {
+            if id >= self.active.len() {
+                return Err(SimError::UnknownWorker { id });
+            }
+            if self.active[id] {
+                self.active[id] = false;
+                applied.departed.push(id);
+            }
+        }
+        Ok(applied)
     }
 
     /// Records of every assignment run so far.
@@ -409,6 +513,12 @@ impl Platform {
         for &id in worker_ids {
             if id >= self.workers.len() {
                 return Err(SimError::UnknownWorker { id });
+            }
+            if !self.active[id] {
+                return Err(SimError::InvalidConfig {
+                    what: "worker has left the platform",
+                    value: id as f64,
+                });
             }
         }
         let requested = tasks_per_worker * worker_ids.len();
@@ -577,6 +687,12 @@ impl Platform {
         for &id in worker_ids {
             if id >= self.workers.len() {
                 return Err(SimError::UnknownWorker { id });
+            }
+            if !self.active[id] {
+                return Err(SimError::InvalidConfig {
+                    what: "worker has left the platform",
+                    value: id as f64,
+                });
             }
         }
         let epoch = self.evaluations_run as u64;
@@ -817,6 +933,112 @@ mod tests {
             p.evaluate_working_accuracy_sharded(&ids, &wrong),
             Err(SimError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn churn_allocates_dense_ids_and_retires_departures() {
+        use crate::event::RoundEvents;
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut p = Platform::from_dataset(&ds, 7).unwrap();
+        let n = p.pool_size();
+        let spec = ds.workers[0].clone();
+        let applied = p
+            .apply_events(
+                &RoundEvents::none()
+                    .with_join(spec.clone())
+                    .with_join(spec.clone())
+                    .with_leave(3),
+            )
+            .unwrap();
+        assert_eq!(applied.joined, vec![n, n + 1]);
+        assert_eq!(applied.departed, vec![3]);
+        assert_eq!(p.pool_size(), n + 2);
+        assert!(!p.is_active(3));
+        assert!(p.is_active(n + 1));
+        assert!(!p.is_active(n + 2));
+        let active = p.active_worker_ids();
+        assert_eq!(active.len(), n + 1);
+        assert!(!active.contains(&3));
+        // Departed workers are rejected by both planning paths...
+        assert!(matches!(
+            p.assign_learning_batch(&[3], 5),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            p.evaluate_working_accuracy(&[3]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        // ...their history stays queryable...
+        assert!(p.profile(3).is_ok());
+        // ...a second departure errors directly but is skipped in a batch...
+        assert!(p.remove_worker(3).is_err());
+        let applied = p.apply_events(&RoundEvents::none().with_leave(3)).unwrap();
+        assert!(applied.is_empty());
+        // ...and unknown ids are always hard errors.
+        assert!(matches!(
+            p.remove_worker(999),
+            Err(SimError::UnknownWorker { .. })
+        ));
+        assert!(p
+            .apply_events(&RoundEvents::none().with_leave(999))
+            .is_err());
+    }
+
+    #[test]
+    fn churn_preserves_surviving_worker_streams() {
+        use crate::event::RoundEvents;
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let reference = {
+            let mut p = Platform::from_dataset(&ds, 11).unwrap();
+            let ids = p.worker_ids();
+            p.assign_learning_batch(&ids, 10).unwrap()
+        };
+        // Same round, but with a join and a departure applied first: every
+        // surviving original worker must produce the exact same sheet.
+        let mut p = Platform::from_dataset(&ds, 11).unwrap();
+        p.apply_events(
+            &RoundEvents::none()
+                .with_join(ds.workers[0].clone())
+                .with_leave(5),
+        )
+        .unwrap();
+        let record = p.assign_learning_batch(&p.active_worker_ids(), 10).unwrap();
+        for sheet in &reference.sheets {
+            if sheet.worker == 5 {
+                continue;
+            }
+            let survived = record
+                .sheets
+                .iter()
+                .find(|s| s.worker == sheet.worker)
+                .unwrap();
+            assert_eq!(sheet, survived, "worker {} stream changed", sheet.worker);
+        }
+    }
+
+    #[test]
+    fn drift_scenario_is_applied_to_initial_and_joining_workers() {
+        let config = DatasetConfig::rw1_drift();
+        let ds = generate(&config).unwrap();
+        let mut p = Platform::new(&ds, 7, 0.0).unwrap();
+        let id = p.add_worker(&ds.workers[0]).unwrap();
+        let ids = p.active_worker_ids();
+        p.assign_learning_batch(&ids, 10).unwrap();
+        // Same dataset without drift: trained accuracies must be strictly higher.
+        let plain_ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut plain = Platform::new(&plain_ds, 7, 0.0).unwrap();
+        plain.add_worker(&plain_ds.workers[0]).unwrap();
+        plain.assign_learning_batch(&ids, 10).unwrap();
+        for &w in &ids {
+            let drifted = p.true_accuracy(w).unwrap();
+            let undrifted = plain.true_accuracy(w).unwrap();
+            let expected = (undrifted - config.scenario.accuracy_drift * 10.0).clamp(0.0, 1.0);
+            assert!(
+                (drifted - expected).abs() < 1e-12,
+                "worker {w}: {drifted} vs {expected}"
+            );
+        }
+        assert_eq!(id, ds.workers.len());
     }
 
     #[test]

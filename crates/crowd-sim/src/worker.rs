@@ -158,6 +158,9 @@ pub struct SimulatedWorker {
     reference_batch: usize,
     /// The worker's latent learning curve.
     learning: LearningGainModel,
+    /// Per-task accuracy decay applied on top of the learning curve (the drift
+    /// scenario). Zero — the default — leaves the closed-world dynamics untouched.
+    accuracy_drift: f64,
 }
 
 impl SimulatedWorker {
@@ -212,7 +215,30 @@ impl SimulatedWorker {
             cumulative_learning_tasks: 0,
             reference_batch,
             learning,
+            accuracy_drift: 0.0,
         })
+    }
+
+    /// Sets the per-task accuracy drift of the worker.
+    ///
+    /// Under drift the worker's true accuracy after `K` revealed tasks becomes
+    /// `g(alpha, beta_T, max(K, Q)) - drift * K` (clamped to `[0, 1]`), modelling a
+    /// population whose concentration degrades over a long campaign (the RW-1-drift
+    /// robustness scenario). A drift of zero restores the exact closed-world curve.
+    pub fn set_accuracy_drift(&mut self, drift: f64) -> Result<(), SimError> {
+        if !drift.is_finite() || !(0.0..1.0).contains(&drift) {
+            return Err(SimError::InvalidConfig {
+                what: "accuracy drift must lie in [0, 1)",
+                value: drift,
+            });
+        }
+        self.accuracy_drift = drift;
+        Ok(())
+    }
+
+    /// The worker's per-task accuracy drift (zero outside drift scenarios).
+    pub fn accuracy_drift(&self) -> f64 {
+        self.accuracy_drift
     }
 
     /// Worker identifier.
@@ -288,7 +314,13 @@ impl SimulatedWorker {
         }
         self.cumulative_learning_tasks += sheet.len();
         let k = self.cumulative_learning_tasks.max(self.reference_batch) as f64;
-        self.current_accuracy = self.learning.accuracy(k).clamp(0.0, 1.0);
+        let mut accuracy = self.learning.accuracy(k);
+        // Guarded so the closed-world path (drift == 0) stays bit-for-bit identical:
+        // even an added `- 0.0` could flip the sign of a negative zero.
+        if self.accuracy_drift > 0.0 {
+            accuracy -= self.accuracy_drift * self.cumulative_learning_tasks as f64;
+        }
+        self.current_accuracy = accuracy.clamp(0.0, 1.0);
         Ok(())
     }
 
@@ -316,6 +348,30 @@ mod tests {
             latent_prior_accuracies: vec![0.7, 0.88, 0.58],
             learning_aptitude: 0.0,
         }
+    }
+
+    #[test]
+    fn accuracy_drift_degrades_the_learning_curve() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let gold = vec![true; 30];
+        let mut plain = SimulatedWorker::new(0, &spec(0.7), 0.0, 30).unwrap();
+        let mut drifting = plain.clone();
+        drifting.set_accuracy_drift(0.001).unwrap();
+        plain.answer_learning_batch(&mut rng, &gold).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        drifting.answer_learning_batch(&mut rng, &gold).unwrap();
+        let expected = plain.current_accuracy() - 0.001 * 30.0;
+        assert!((drifting.current_accuracy() - expected).abs() < 1e-12);
+        // Zero drift is the identity: the setter round-trips without effect.
+        let mut zeroed = SimulatedWorker::new(0, &spec(0.7), 0.0, 30).unwrap();
+        zeroed.set_accuracy_drift(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        zeroed.answer_learning_batch(&mut rng, &gold).unwrap();
+        assert_eq!(zeroed.current_accuracy(), plain.current_accuracy());
+        // Validation.
+        assert!(plain.set_accuracy_drift(-0.1).is_err());
+        assert!(plain.set_accuracy_drift(1.0).is_err());
+        assert!(plain.set_accuracy_drift(f64::NAN).is_err());
     }
 
     #[test]

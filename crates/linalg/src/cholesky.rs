@@ -15,7 +15,7 @@ use crate::vector::Vector;
 /// The lower-triangular Cholesky factor `L` with `A = L * L^T`.
 #[derive(Debug, Clone)]
 pub struct Cholesky {
-    l: Matrix,
+    pub(crate) l: Matrix,
     /// Jitter that had to be added to the diagonal to make the factorisation succeed.
     jitter_used: f64,
 }

@@ -1,0 +1,222 @@
+//! Incremental maintenance of a Cholesky factor: rank-one update/downdate and a
+//! bordered one-dimension extension.
+//!
+//! The streaming selection loop receives observations one at a time: when a new
+//! golden-task answer arrives for a worker, the observed block `Sigma_GG` of the
+//! CPE covariance grows by one row/column, and re-running the full `O(n^3)`
+//! factorisation per observation is wasteful. The three routines here keep an
+//! existing factor `A = L L^T` consistent under the two edits that occur online:
+//!
+//! * [`Cholesky::rank_one_update`] / [`Cholesky::rank_one_downdate`] — replace
+//!   `A` by `A + v v^T` (respectively `A - v v^T`) in `O(n^2)` using the classical
+//!   sequence of (hyperbolic) plane rotations;
+//! * [`Cholesky::extend`] — grow `A` to the bordered matrix
+//!   `[[A, c], [c^T, d]]` in `O(n^2)` via one forward substitution
+//!   (`L w = c`, new diagonal `sqrt(d - w^T w)`).
+//!
+//! All three preserve the invariant that the stored factor is exactly the factor
+//! of the edited matrix (up to floating-point rounding); they never add jitter, so
+//! a downdate or extension that leaves the positive-definite cone surfaces as
+//! [`LinalgError::NotPositiveDefinite`] and the caller decides whether to
+//! re-factorise from scratch with jitter.
+
+use crate::cholesky::Cholesky;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::triangular::solve_lower_triangular;
+use crate::vector::Vector;
+
+impl Cholesky {
+    /// Updates the factorisation of `A` in place to the factorisation of
+    /// `A + v * v^T` in `O(n^2)`.
+    pub fn rank_one_update(&mut self, v: &Vector) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky rank_one_update",
+                left: (n, n),
+                right: (v.len(), 1),
+            });
+        }
+        let mut work = v.as_slice().to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let r = (lkk * lkk + work[k] * work[k]).sqrt();
+            if !r.is_finite() || r <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { index: k, value: r });
+            }
+            let c = r / lkk;
+            let s = work[k] / lkk;
+            self.l[(k, k)] = r;
+            for (i, wi) in work.iter_mut().enumerate().skip(k + 1) {
+                self.l[(i, k)] = (self.l[(i, k)] + s * *wi) / c;
+                *wi = c * *wi - s * self.l[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Updates the factorisation of `A` in place to the factorisation of
+    /// `A - v * v^T` in `O(n^2)`.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] (leaving the factor in a
+    /// partially downdated state) when the subtraction leaves the SPD cone; the
+    /// caller should then fall back to a fresh factorisation.
+    pub fn rank_one_downdate(&mut self, v: &Vector) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky rank_one_downdate",
+                left: (n, n),
+                right: (v.len(), 1),
+            });
+        }
+        let mut work = v.as_slice().to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let t = lkk * lkk - work[k] * work[k];
+            if t <= 0.0 || !t.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { index: k, value: t });
+            }
+            let r = t.sqrt();
+            let c = r / lkk;
+            let s = work[k] / lkk;
+            self.l[(k, k)] = r;
+            for (i, wi) in work.iter_mut().enumerate().skip(k + 1) {
+                self.l[(i, k)] = (self.l[(i, k)] - s * *wi) / c;
+                *wi = c * *wi - s * self.l[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Extends the factorisation of the `n x n` matrix `A` in place to the
+    /// factorisation of the bordered `(n+1) x (n+1)` matrix
+    /// `[[A, cross], [cross^T, diag]]` in `O(n^2)`.
+    ///
+    /// `cross` is the new off-diagonal column and `diag` the new diagonal entry.
+    /// The Schur complement `diag - w^T w` (with `L w = cross`) must stay strictly
+    /// positive, otherwise [`LinalgError::NotPositiveDefinite`] is returned and the
+    /// factor is left unchanged.
+    pub fn extend(&mut self, cross: &Vector, diag: f64) -> Result<()> {
+        let n = self.dim();
+        if cross.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky extend",
+                left: (n, n),
+                right: (cross.len(), 1),
+            });
+        }
+        let w = solve_lower_triangular(&self.l, cross)?;
+        let schur = diag - w.dot(&w)?;
+        if schur <= 0.0 || !schur.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite {
+                index: n,
+                value: schur,
+            });
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                grown[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for j in 0..n {
+            grown[(n, j)] = w[j];
+        }
+        grown[(n, n)] = schur.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+
+    /// Non-mutating variant of [`Cholesky::extend`]: returns the factorisation of
+    /// the bordered matrix, leaving `self` untouched.
+    pub fn extended(&self, cross: &Vector, diag: f64) -> Result<Self> {
+        let mut out = self.clone();
+        out.extend(cross, diag)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd4() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 1.2, 0.4, 0.8],
+            vec![1.2, 3.0, 0.7, 0.2],
+            vec![0.4, 0.7, 2.5, 0.5],
+            vec![0.8, 0.2, 0.5, 3.5],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactorisation() {
+        let a = spd4();
+        let v = Vector::from_slice(&[0.3, -0.5, 0.9, 0.1]);
+        let mut chol = Cholesky::new(&a).unwrap();
+        chol.rank_one_update(&v).unwrap();
+        let direct = a.add(&Matrix::outer(&v, &v)).unwrap();
+        assert!(chol.reconstruct().max_abs_diff(&direct).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn rank_one_downdate_reverses_update() {
+        let a = spd4();
+        let v = Vector::from_slice(&[0.3, -0.5, 0.9, 0.1]);
+        let mut chol = Cholesky::new(&a).unwrap();
+        chol.rank_one_update(&v).unwrap();
+        chol.rank_one_downdate(&v).unwrap();
+        assert!(chol.reconstruct().max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn downdate_that_leaves_the_cone_errors() {
+        let a = Matrix::identity(2);
+        let v = Vector::from_slice(&[2.0, 0.0]);
+        let mut chol = Cholesky::new(&a).unwrap();
+        assert!(matches!(
+            chol.rank_one_downdate(&v),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_matches_bordered_refactorisation() {
+        let a = spd4();
+        let cross = Vector::from_slice(&[0.5, -0.2, 0.3, 0.1]);
+        let diag = 2.0;
+        let chol = Cholesky::new(&a).unwrap().extended(&cross, diag).unwrap();
+        let bordered = Matrix::from_fn(5, 5, |i, j| match (i, j) {
+            (4, 4) => diag,
+            (4, j) => cross[j],
+            (i, 4) => cross[i],
+            (i, j) => a[(i, j)],
+        });
+        assert_eq!(chol.dim(), 5);
+        assert!(
+            chol.reconstruct().max_abs_diff(&bordered).unwrap() < 1e-10,
+            "bordered extension diverged from the direct factorisation"
+        );
+    }
+
+    #[test]
+    fn extend_rejects_non_spd_border() {
+        let a = Matrix::identity(2);
+        let chol = Cholesky::new(&a).unwrap();
+        // Schur complement 1 - (3^2 + 0) < 0: the bordered matrix is indefinite.
+        let err = chol.extended(&Vector::from_slice(&[3.0, 0.0]), 1.0);
+        assert!(matches!(err, Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let mut chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        let short = Vector::from_slice(&[1.0]);
+        assert!(chol.rank_one_update(&short).is_err());
+        assert!(chol.rank_one_downdate(&short).is_err());
+        assert!(chol.extend(&short, 1.0).is_err());
+    }
+}

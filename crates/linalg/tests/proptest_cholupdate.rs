@@ -1,0 +1,91 @@
+//! Property-based cross-checks of the incremental Cholesky maintenance routines
+//! against full refactorisation.
+//!
+//! The streaming CPE path (rank-one update/downdate and the bordered one-column
+//! extension) must agree with factorising the edited matrix from scratch; these
+//! properties pin that agreement over fuzzed SPD matrices.
+
+use c4u_linalg::{Cholesky, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy producing small well-scaled vectors.
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, len)
+}
+
+/// Builds a symmetric positive-definite matrix `B^T B + n*I` from arbitrary entries.
+fn spd_from_entries(n: usize, entries: &[f64]) -> Matrix {
+    let b = Matrix::from_row_major(n, n, entries.to_vec()).unwrap();
+    let bt_b = b.transpose().matmul(&b).unwrap();
+    bt_b.add(&Matrix::identity(n).scale(n as f64)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rank_one_update_matches_full_refactorisation(
+        entries in vec_strategy(16),
+        v in vec_strategy(4),
+    ) {
+        let a = spd_from_entries(4, &entries);
+        let v = Vector::from_vec(v);
+        let mut incremental = Cholesky::new(&a).unwrap();
+        incremental.rank_one_update(&v).unwrap();
+        let edited = a.add(&Matrix::outer(&v, &v)).unwrap();
+        let full = Cholesky::new(&edited).unwrap();
+        prop_assert!(
+            incremental.l().max_abs_diff(full.l()).unwrap() < 1e-7,
+            "updated factor diverged from refactorisation"
+        );
+    }
+
+    #[test]
+    fn update_then_downdate_is_identity(
+        entries in vec_strategy(16),
+        v in vec_strategy(4),
+    ) {
+        let a = spd_from_entries(4, &entries);
+        let v = Vector::from_vec(v);
+        let reference = Cholesky::new(&a).unwrap();
+        let mut roundtrip = reference.clone();
+        roundtrip.rank_one_update(&v).unwrap();
+        roundtrip.rank_one_downdate(&v).unwrap();
+        prop_assert!(roundtrip.l().max_abs_diff(reference.l()).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn downdate_matches_full_refactorisation(
+        entries in vec_strategy(16),
+        v in vec_strategy(4),
+    ) {
+        let a = spd_from_entries(4, &entries);
+        // Scale v down so A - v v^T is guaranteed to stay SPD (diagonal dominance
+        // of the construction gives the smallest eigenvalue >= 4).
+        let v = Vector::from_vec(v).scale(0.1);
+        let mut incremental = Cholesky::new(&a).unwrap();
+        incremental.rank_one_downdate(&v).unwrap();
+        let edited = a.sub(&Matrix::outer(&v, &v)).unwrap();
+        let full = Cholesky::new(&edited).unwrap();
+        prop_assert!(incremental.l().max_abs_diff(full.l()).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn bordered_extension_matches_full_refactorisation(entries in vec_strategy(25)) {
+        // Build a 5x5 SPD matrix and factorise its leading 4x4 block, then extend
+        // by the true fifth row/column: the result must match factorising all of it.
+        let a5 = spd_from_entries(5, &entries);
+        let idx4: Vec<usize> = (0..4).collect();
+        let a4 = a5.submatrix(&idx4, &idx4).unwrap();
+        let border = Vector::from_fn(4, |i| a5[(i, 4)]);
+        let incremental = Cholesky::new(&a4)
+            .unwrap()
+            .extended(&border, a5[(4, 4)])
+            .unwrap();
+        let full = Cholesky::new(&a5).unwrap();
+        prop_assert!(
+            incremental.l().max_abs_diff(full.l()).unwrap() < 1e-7,
+            "bordered extension diverged from refactorisation"
+        );
+    }
+}

@@ -564,7 +564,11 @@ fn cfg_test_regions(lexed: &Lexed<'_>, code: &[&Token]) -> Vec<(u32, u32)> {
 /// declares with an unordered-map type — `name: HashMap<…>` annotations
 /// (fields, params, lets; an optional `&`/`mut` between `:` and the type is
 /// skipped, but `[`/`<` stops the walk so *containers of* maps are not
-/// tracked) and `name = HashMap::new()`-style initialisations.
+/// tracked) and `name = HashMap::new()`-style initialisations. The walk-back
+/// also hops over `path::` qualifiers, so fully-qualified spellings
+/// (`name = std::collections::HashMap::new()`, `name: collections::HashMap<…>`)
+/// are tracked exactly like the imported ones — the event-handling modules
+/// motivated closing that gap.
 fn collect_map_idents(lexed: &Lexed<'_>, code: &[&Token]) -> BTreeSet<String> {
     let text = |t: &Token| lexed.text(t);
     let mut maps = BTreeSet::new();
@@ -572,16 +576,28 @@ fn collect_map_idents(lexed: &Lexed<'_>, code: &[&Token]) -> BTreeSet<String> {
         if t.kind != TokenKind::Ident || !matches!(text(t), "HashMap" | "HashSet") {
             continue;
         }
-        // Walk back over `&`, `'lifetime`, and `mut` to the `:` or `=`.
+        // Walk back over `path::` segments, `&`, `'lifetime`, and `mut` to
+        // the `:` or `=`. (`::` lexes as two `:` tokens, so a qualifier hop
+        // is ident + `:` + `:` = three tokens.)
         let mut j = i;
-        while j > 0 {
-            let prev = code[j - 1];
-            let pt = text(prev);
-            if pt == "&" || pt == "mut" || prev.kind == TokenKind::Lifetime {
-                j -= 1;
-            } else {
-                break;
+        loop {
+            if j >= 3
+                && text(code[j - 1]) == ":"
+                && text(code[j - 2]) == ":"
+                && code[j - 3].kind == TokenKind::Ident
+            {
+                j -= 3;
+                continue;
             }
+            if j > 0 {
+                let prev = code[j - 1];
+                let pt = text(prev);
+                if pt == "&" || pt == "mut" || prev.kind == TokenKind::Lifetime {
+                    j -= 1;
+                    continue;
+                }
+            }
+            break;
         }
         if j < 2 {
             continue;
@@ -638,6 +654,27 @@ mod tests {
         assert!(
             !maps.contains("r"),
             "slice of maps is iterated in slice order"
+        );
+    }
+
+    #[test]
+    fn map_ident_collection_tracks_fully_qualified_inits() {
+        let src = "fn f() {\n\
+                   let m = std::collections::HashMap::new();\n\
+                   let s: collections::HashSet<u32> = collections::HashSet::new();\n\
+                   let b = std::collections::BTreeMap::new();\n\
+                   use std::collections::HashMap;\n\
+                   let _ = (m, s, b);\n\
+                   }";
+        let lexed = lex(src);
+        let code: Vec<&crate::lexer::Token> = lexed.tokens.iter().collect();
+        let maps = collect_map_idents(&lexed, &code);
+        assert!(maps.contains("m"), "fully-qualified init is tracked");
+        assert!(maps.contains("s"), "qualified annotation is tracked");
+        assert!(!maps.contains("b"), "BTreeMap has a deterministic order");
+        assert!(
+            !maps.contains("use"),
+            "an import is not a binding; the walk-back must stop at `use`"
         );
     }
 

@@ -19,9 +19,9 @@ use crate::budget::BudgetPlan;
 use crate::cpe::CpeConfig;
 use crate::me::{median_eliminate, top_k, ScoredWorker};
 use crate::selector::{SelectionOutcome, WorkerSelector};
-use crate::stage::{num_prior_domains, RoundInput, StageInit, StagePipeline};
+use crate::stage::{num_prior_domains, RoundHeader, StageInit, StagePipeline, StageRoundInput};
 use crate::SelectionError;
-use c4u_crowd_sim::{HistoricalProfile, Platform, WorkerId, WorkerShards};
+use c4u_crowd_sim::{CampaignSchedule, HistoricalProfile, Platform, WorkerId, WorkerShards};
 use c4u_service::{DeliveryOrder, ServiceConfig, ShardService};
 use std::collections::HashMap;
 
@@ -177,6 +177,12 @@ pub struct RoundDiagnostics {
     pub entered: Vec<WorkerId>,
     /// Workers that survived the round.
     pub survived: Vec<WorkerId>,
+    /// Workers that joined the campaign just before this round (empty in a
+    /// closed-world run).
+    pub joined: Vec<WorkerId>,
+    /// Workers that departed just before this round (empty in a closed-world
+    /// run).
+    pub departed: Vec<WorkerId>,
     /// Tasks assigned to each worker in the round.
     pub tasks_per_worker: usize,
     /// Static CPE estimate per entered worker (aligned with `entered`).
@@ -279,8 +285,36 @@ impl CrossDomainSelector {
     }
 
     /// Runs the pipeline and returns the full report (outcome + diagnostics).
+    ///
+    /// This is the closed-world campaign: it delegates to
+    /// [`Self::run_with_events`] with the empty [`CampaignSchedule`], and
+    /// `tests/event_equivalence.rs` pins that the two are bit-for-bit
+    /// identical.
     pub fn run(&self, platform: &mut Platform, k: usize) -> Result<PipelineReport, SelectionError> {
-        let pool: Vec<WorkerId> = platform.worker_ids();
+        self.run_with_events(platform, k, &CampaignSchedule::empty())
+    }
+
+    /// Runs the pipeline as an online campaign: before each round, the
+    /// schedule's [`RoundEvents`](c4u_crowd_sim::RoundEvents) for that round
+    /// are applied to the platform — joining workers enter the surviving pool
+    /// immediately (their first answer sheet doubles as their first
+    /// observation), departing workers drop out of it.
+    ///
+    /// Two structural guarantees make churn safe:
+    ///
+    /// * answer streams are keyed by (round, worker id), so any join/leave
+    ///   sequence leaves every survivor's answers bit-for-bit unchanged
+    ///   (`tests/churn_determinism.rs`);
+    /// * the budget plan assigns `floor(t / |W_c|)` tasks per remaining
+    ///   worker, so arrivals shrink the per-worker share instead of
+    ///   overrunning the round budget.
+    pub fn run_with_events(
+        &self,
+        platform: &mut Platform,
+        k: usize,
+        schedule: &CampaignSchedule,
+    ) -> Result<PipelineReport, SelectionError> {
+        let pool: Vec<WorkerId> = platform.active_worker_ids();
         if pool.is_empty() {
             return Err(SelectionError::NotEnoughData { needed: 1, got: 0 });
         }
@@ -324,6 +358,18 @@ impl CrossDomainSelector {
         let service = (self.config.service_executors > 0)
             .then(|| ShardService::new(self.config.service_config()));
         for round in 1..=plan.rounds {
+            // --- Round events (arrivals and departures) ---
+            let (joined, departed) = match schedule.events_for(round) {
+                Some(events) => {
+                    let applied = platform.apply_events(events)?;
+                    remaining.extend(applied.joined.iter().copied());
+                    if !applied.departed.is_empty() {
+                        remaining.retain(|w| !applied.departed.contains(w));
+                    }
+                    (applied.joined, applied.departed)
+                }
+                None => (Vec::new(), Vec::new()),
+            };
             let tasks_per_worker = plan.tasks_per_worker(remaining.len());
             // One worker-range partition per round: the platform answers the
             // shared golden slice shard-by-shard — on scoped threads
@@ -348,11 +394,13 @@ impl CrossDomainSelector {
                 .iter()
                 .map(|sheet| platform.profile(sheet.worker))
                 .collect::<Result<_, _>>()?;
-            let estimates = pipeline.run_round(&RoundInput {
-                round,
-                total_rounds: plan.rounds,
-                delta,
-                sheets: &record.sheets,
+            let estimates = pipeline.score_round(&StageRoundInput {
+                header: RoundHeader {
+                    round,
+                    total_rounds: plan.rounds,
+                    delta,
+                    sheets: &record.sheets,
+                },
                 profiles: &profiles,
                 cumulative_tasks: &cumulative_tasks,
                 num_shards,
@@ -376,6 +424,8 @@ impl CrossDomainSelector {
                 round,
                 entered: remaining.clone(),
                 survived: survivors.clone(),
+                joined,
+                departed,
                 tasks_per_worker,
                 static_estimates,
                 dynamic_estimates,
@@ -586,6 +636,58 @@ mod tests {
         assert_eq!(sc.delivery, DeliveryOrder::Reversed);
         // The default keeps the round loop in-process.
         assert_eq!(SelectorConfig::default().service_executors, 0);
+    }
+
+    #[test]
+    fn empty_schedule_matches_closed_world_run() {
+        let reference = {
+            let mut platform = rw1_platform();
+            CrossDomainSelector::new(fast_config())
+                .run(&mut platform, 7)
+                .unwrap()
+        };
+        let mut platform = rw1_platform();
+        let via_events = CrossDomainSelector::new(fast_config())
+            .run_with_events(&mut platform, 7, &CampaignSchedule::empty())
+            .unwrap();
+        assert_eq!(reference.outcome.selected, via_events.outcome.selected);
+        assert_eq!(reference.outcome.scores, via_events.outcome.scores);
+        assert_eq!(reference.rounds, via_events.rounds);
+        for d in &via_events.rounds {
+            assert!(d.joined.is_empty());
+            assert!(d.departed.is_empty());
+        }
+    }
+
+    #[test]
+    fn campaign_with_churn_selects_from_the_open_pool() {
+        use c4u_crowd_sim::RoundEvents;
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 11).unwrap();
+        let n = platform.pool_size();
+        // Two workers join before round 2; worker 0 departs at the same time.
+        let schedule = CampaignSchedule::empty().with_round(
+            2,
+            RoundEvents::none()
+                .with_join(ds.workers[1].clone())
+                .with_join(ds.workers[2].clone())
+                .with_leave(0),
+        );
+        let report = CrossDomainSelector::new(fast_config())
+            .run_with_events(&mut platform, 7, &schedule)
+            .unwrap();
+        assert_eq!(report.outcome.selected.len(), 7);
+        assert!(report.outcome.budget_spent <= platform.budget_total());
+        assert_eq!(report.rounds[0].joined, Vec::<WorkerId>::new());
+        assert_eq!(report.rounds[1].joined, vec![n, n + 1]);
+        // Worker 0 either was already eliminated in round 1 or departed here;
+        // either way it must not enter round 2 or the final selection.
+        assert_eq!(report.rounds[1].departed, vec![0]);
+        assert!(!report.rounds[1].entered.contains(&0));
+        assert!(!report.outcome.selected.contains(&0));
+        // The joiners entered round 2 alongside the round-1 survivors.
+        assert!(report.rounds[1].entered.contains(&n));
+        assert!(report.rounds[1].entered.contains(&(n + 1)));
     }
 
     #[test]

@@ -87,15 +87,21 @@ pub use me::{median_eliminate, rounds_until_at_most, sort_by_score, top_k, Score
 pub use selector::{SelectionOutcome, WorkerSelector};
 pub use stage::{
     num_prior_domains, BktStage, CpeStage, EnsembleStage, EstimationStage, LgeStage, RaschStage,
-    RoundContext, RoundEstimates, RoundInput, SheetAccuracyStage, StageInit, StagePipeline,
+    RoundContext, RoundEstimates, RoundHeader, SheetAccuracyStage, StageInit, StagePipeline,
+    StageRoundInput,
 };
+// The pre-RoundHeader round input, re-exported (deprecated) for one release so
+// downstream `run_round` callers keep compiling.
+#[allow(deprecated)]
+pub use stage::RoundInput;
 
 // Re-export the simulator types that appear in this crate's public API
 // (AnswerSheet/HistoricalProfile are part of the stage-context types;
 // WorkerShards parameterises the sharded scoring paths), plus the IRT types
 // the stage zoo is parameterised by (SelectorConfig::bkt, BktStage::new).
 pub use c4u_crowd_sim::{
-    AnswerSheet, Dataset, DatasetConfig, HistoricalProfile, Platform, WorkerId, WorkerShards,
+    AnswerSheet, AppliedRoundEvents, CampaignSchedule, Dataset, DatasetConfig, HistoricalProfile,
+    Platform, RoundEvents, ScenarioConfig, WorkerId, WorkerShards, WorkerSpec,
 };
 pub use c4u_irt::{BktModel, BktParams};
 // The shard-service knob types referenced by `SelectorConfig`

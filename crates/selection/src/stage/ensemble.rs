@@ -202,10 +202,12 @@ mod tests {
             .collect();
         let cumulative = [0.0, 6.0];
         let ctx = RoundContext {
-            round: 1,
-            total_rounds: 1,
-            delta: 0.1,
-            sheets: &record.sheets,
+            header: crate::stage::RoundHeader {
+                round: 1,
+                total_rounds: 1,
+                delta: 0.1,
+                sheets: &record.sheets,
+            },
             profiles: &profiles,
             cumulative_tasks: &cumulative,
             num_shards: 1,

@@ -258,10 +258,12 @@ mod tests {
         num_shards: usize,
     ) -> RoundContext<'a> {
         RoundContext {
-            round: 1,
-            total_rounds: 1,
-            delta: 0.1,
-            sheets,
+            header: crate::stage::RoundHeader {
+                round: 1,
+                total_rounds: 1,
+                delta: 0.1,
+                sheets,
+            },
             profiles,
             cumulative_tasks: cumulative,
             num_shards,
@@ -396,8 +398,11 @@ mod tests {
             .iter()
             .all(|s| stage.observed(s.worker).map(<[f64]>::len) == Some(1)));
         let ctx2 = RoundContext {
-            round: 2,
-            total_rounds: 2,
+            header: crate::stage::RoundHeader {
+                round: 2,
+                total_rounds: 2,
+                ..ctx.header
+            },
             ..ctx
         };
         let second = stage.estimate(&ctx2, &[]).unwrap();

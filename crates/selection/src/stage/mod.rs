@@ -80,15 +80,14 @@ pub fn num_prior_domains(profiles: &[&HistoricalProfile]) -> usize {
     profiles.iter().map(|p| p.num_domains()).max().unwrap_or(0)
 }
 
-/// Everything a stage can see in one elimination round.
+/// The round header: the per-round facts every per-round view shares.
 ///
-/// `sheets` and `profiles` are aligned: entry `i` of both describes the same
-/// remaining worker. `prior_histories` exposes, for every *preceding* stage in
-/// the pipeline, that stage's per-worker score history across all rounds run so
-/// far — including the current round, because preceding stages have already run
-/// when a stage is invoked.
+/// Historically [`RoundContext`] and the pipeline's round input each carried
+/// their own copy of these four fields; they are now stated once here and
+/// embedded (both views deref/delegate to it), so the header can only ever be
+/// described one way per round.
 #[derive(Debug, Clone, Copy)]
-pub struct RoundContext<'a> {
+pub struct RoundHeader<'a> {
     /// 1-based round index.
     pub round: usize,
     /// Total number of elimination rounds `n`.
@@ -97,7 +96,21 @@ pub struct RoundContext<'a> {
     pub delta: f64,
     /// The round's answer sheets, one per remaining worker.
     pub sheets: &'a [AnswerSheet],
-    /// Historical profiles aligned with `sheets`.
+}
+
+/// Everything a stage can see in one elimination round.
+///
+/// `header.sheets` and `profiles` are aligned: entry `i` of both describes the
+/// same remaining worker (the context derefs to its [`RoundHeader`], so
+/// `ctx.round`, `ctx.sheets`, ... read as before). `prior_histories` exposes,
+/// for every *preceding* stage in the pipeline, that stage's per-worker score
+/// history across all rounds run so far — including the current round, because
+/// preceding stages have already run when a stage is invoked.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundContext<'a> {
+    /// The shared round header (round index, total rounds, `delta_c`, sheets).
+    pub header: RoundHeader<'a>,
+    /// Historical profiles aligned with `header.sheets`.
     pub profiles: &'a [&'a HistoricalProfile],
     /// Cumulative training schedule: entry `j` is `K_j`, the learning tasks a
     /// worker has received by the end of round `j` (entry 0 is `K_0 = 0`).
@@ -110,6 +123,14 @@ pub struct RoundContext<'a> {
     pub prior_histories: &'a [HashMap<WorkerId, Vec<f64>>],
 }
 
+impl<'a> std::ops::Deref for RoundContext<'a> {
+    type Target = RoundHeader<'a>;
+
+    fn deref(&self) -> &RoundHeader<'a> {
+        &self.header
+    }
+}
+
 impl RoundContext<'_> {
     /// Cumulative learning tasks `K_j` after round `j` (0 for round 0).
     pub fn cumulative_tasks_after_round(&self, round: usize) -> f64 {
@@ -119,7 +140,7 @@ impl RoundContext<'_> {
     /// The worker-range partition a stage's per-worker scoring pass fans out
     /// over: `num_shards` contiguous, balanced ranges of the round's sheets.
     pub fn worker_shards(&self) -> WorkerShards {
-        WorkerShards::by_count(self.sheets.len(), self.num_shards.max(1))
+        WorkerShards::by_count(self.header.sheets.len(), self.num_shards.max(1))
     }
 }
 
@@ -412,6 +433,33 @@ impl EstimationStage for SheetAccuracyStage {
 /// Per-round inputs of a pipeline invocation (everything except the stage
 /// histories, which the pipeline owns).
 #[derive(Debug, Clone, Copy)]
+pub struct StageRoundInput<'a> {
+    /// The shared round header (round index, total rounds, `delta_c`, sheets).
+    pub header: RoundHeader<'a>,
+    /// Historical profiles aligned with `header.sheets`.
+    pub profiles: &'a [&'a HistoricalProfile],
+    /// Cumulative training schedule `K_0, ..., K_n`.
+    pub cumulative_tasks: &'a [f64],
+    /// Worker-range shards for the stages' per-worker scoring passes
+    /// (1 = sequential; any value yields identical scores).
+    pub num_shards: usize,
+}
+
+impl<'a> std::ops::Deref for StageRoundInput<'a> {
+    type Target = RoundHeader<'a>;
+
+    fn deref(&self) -> &RoundHeader<'a> {
+        &self.header
+    }
+}
+
+/// The pre-[`RoundHeader`] round input, kept for one release so existing
+/// [`StagePipeline::run_round`] callers migrate at their own pace.
+#[deprecated(
+    since = "0.11.0",
+    note = "use `StagePipeline::score_round` with `StageRoundInput`: the round/total_rounds/delta/sheets fields moved into the shared `RoundHeader`"
+)]
+#[derive(Debug, Clone, Copy)]
 pub struct RoundInput<'a> {
     /// 1-based round index.
     pub round: usize,
@@ -594,8 +642,12 @@ impl StagePipeline {
 
     /// Runs every stage once for the round, threading scores through the
     /// pipeline and recording each stage's output into its history.
-    pub fn run_round(&mut self, input: &RoundInput<'_>) -> Result<RoundEstimates, SelectionError> {
-        if input.profiles.len() != input.sheets.len() {
+    pub fn score_round(
+        &mut self,
+        input: &StageRoundInput<'_>,
+    ) -> Result<RoundEstimates, SelectionError> {
+        let sheets = input.header.sheets;
+        if input.profiles.len() != sheets.len() {
             return Err(SelectionError::InvalidConfig {
                 what: "round profiles must align with the answer sheets",
                 value: input.profiles.len() as f64,
@@ -605,25 +657,22 @@ impl StagePipeline {
         let mut current: Vec<f64> = Vec::new();
         for index in 0..self.stages.len() {
             let ctx = RoundContext {
-                round: input.round,
-                total_rounds: input.total_rounds,
-                delta: input.delta,
-                sheets: input.sheets,
+                header: input.header,
                 profiles: input.profiles,
                 cumulative_tasks: input.cumulative_tasks,
                 num_shards: input.num_shards,
                 prior_histories: &self.histories[..index],
             };
             let scores = self.stages[index].estimate(&ctx, &current)?;
-            if scores.len() != input.sheets.len() {
+            if scores.len() != sheets.len() {
                 return Err(SelectionError::Numerical(format!(
                     "stage '{}' produced {} scores for {} workers",
                     self.stages[index].name(),
                     scores.len(),
-                    input.sheets.len()
+                    sheets.len()
                 )));
             }
-            for (sheet, &score) in input.sheets.iter().zip(scores.iter()) {
+            for (sheet, &score) in sheets.iter().zip(scores.iter()) {
                 self.histories[index]
                     .entry(sheet.worker)
                     .or_default()
@@ -633,6 +682,27 @@ impl StagePipeline {
             current = scores;
         }
         Ok(RoundEstimates { per_stage })
+    }
+
+    /// Pre-[`RoundHeader`] entry point: identical to
+    /// [`StagePipeline::score_round`], retained as a shim for one release.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `score_round` with `StageRoundInput` (the round header moved into the shared `RoundHeader` type)"
+    )]
+    #[allow(deprecated)]
+    pub fn run_round(&mut self, input: &RoundInput<'_>) -> Result<RoundEstimates, SelectionError> {
+        self.score_round(&StageRoundInput {
+            header: RoundHeader {
+                round: input.round,
+                total_rounds: input.total_rounds,
+                delta: input.delta,
+                sheets: input.sheets,
+            },
+            profiles: input.profiles,
+            cumulative_tasks: input.cumulative_tasks,
+            num_shards: input.num_shards,
+        })
     }
 
     /// The learned prior/target correlations of the first stage that exposes
@@ -698,10 +768,12 @@ mod tests {
             .collect();
         let cumulative = [0.0, 10.0];
         let ctx = RoundContext {
-            round: 1,
-            total_rounds: 1,
-            delta: 0.1,
-            sheets: &record.sheets,
+            header: RoundHeader {
+                round: 1,
+                total_rounds: 1,
+                delta: 0.1,
+                sheets: &record.sheets,
+            },
             profiles: &profiles,
             cumulative_tasks: &cumulative,
             num_shards: 1,
@@ -734,10 +806,12 @@ mod tests {
         lge.initialize(&init).unwrap();
         let cumulative = [0.0, 10.0];
         let ctx = RoundContext {
-            round: 1,
-            total_rounds: 1,
-            delta: 0.1,
-            sheets: &record.sheets,
+            header: RoundHeader {
+                round: 1,
+                total_rounds: 1,
+                delta: 0.1,
+                sheets: &record.sheets,
+            },
             profiles: &profiles,
             cumulative_tasks: &cumulative,
             num_shards: 1,
@@ -775,11 +849,13 @@ mod tests {
             .collect();
         let cumulative = [0.0, 5.0];
         let estimates = pipeline
-            .run_round(&RoundInput {
-                round: 1,
-                total_rounds: 1,
-                delta: 0.1,
-                sheets: &record.sheets,
+            .score_round(&StageRoundInput {
+                header: RoundHeader {
+                    round: 1,
+                    total_rounds: 1,
+                    delta: 0.1,
+                    sheets: &record.sheets,
+                },
                 profiles: &profiles,
                 cumulative_tasks: &cumulative,
                 num_shards: 1,
@@ -805,6 +881,59 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_round_shim_matches_score_round() {
+        // The one-release compatibility shim: `run_round(&RoundInput)` must be
+        // bit-for-bit identical to `score_round(&StageRoundInput)`.
+        let ds = generate(&DatasetConfig::rw1()).unwrap();
+        let mut platform = Platform::from_dataset(&ds, 5).unwrap();
+        let ids = platform.worker_ids();
+        let pool_profiles = platform.profiles();
+        let init = StageInit {
+            profiles: &pool_profiles,
+            num_prior_domains: num_prior_domains(&pool_profiles),
+            initial_target_accuracy: 0.5,
+        };
+        let mut via_shim = StagePipeline::cpe_and_lge(fast_cpe());
+        via_shim.initialize(&init).unwrap();
+        let mut via_canonical = via_shim.clone();
+        drop(pool_profiles);
+
+        let record = platform.assign_learning_batch(&ids, 5).unwrap();
+        let profiles: Vec<&HistoricalProfile> = record
+            .sheets
+            .iter()
+            .map(|s| platform.profile(s.worker).unwrap())
+            .collect();
+        let cumulative = [0.0, 5.0];
+        let old = via_shim
+            .run_round(&RoundInput {
+                round: 1,
+                total_rounds: 1,
+                delta: 0.1,
+                sheets: &record.sheets,
+                profiles: &profiles,
+                cumulative_tasks: &cumulative,
+                num_shards: 1,
+            })
+            .unwrap();
+        let new = via_canonical
+            .score_round(&StageRoundInput {
+                header: RoundHeader {
+                    round: 1,
+                    total_rounds: 1,
+                    delta: 0.1,
+                    sheets: &record.sheets,
+                },
+                profiles: &profiles,
+                cumulative_tasks: &cumulative,
+                num_shards: 1,
+            })
+            .unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn initialize_resets_histories() {
         let ds = generate(&DatasetConfig::rw1()).unwrap();
         let mut platform = Platform::from_dataset(&ds, 5).unwrap();
@@ -827,11 +956,13 @@ mod tests {
             .collect();
         let cumulative = [0.0, 2.0];
         pipeline
-            .run_round(&RoundInput {
-                round: 1,
-                total_rounds: 1,
-                delta: 0.1,
-                sheets: &record.sheets,
+            .score_round(&StageRoundInput {
+                header: RoundHeader {
+                    round: 1,
+                    total_rounds: 1,
+                    delta: 0.1,
+                    sheets: &record.sheets,
+                },
                 profiles: &profiles,
                 cumulative_tasks: &cumulative,
                 num_shards: 1,

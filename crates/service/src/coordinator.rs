@@ -28,11 +28,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Environment knob naming the executor-thread count (see
-/// [`ServiceConfig::from_env`]).
-pub const ENV_EXECUTORS: &str = "C4U_SERVICE_EXECUTORS";
+/// [`ServiceConfig::from_env`]; registered in the [`c4u_env`] knob table).
+pub const ENV_EXECUTORS: &str = c4u_env::names::SERVICE_EXECUTORS;
 /// Environment knob naming the queue capacity (see
-/// [`ServiceConfig::from_env`]).
-pub const ENV_QUEUE: &str = "C4U_SERVICE_QUEUE";
+/// [`ServiceConfig::from_env`]; registered in the [`c4u_env`] knob table).
+pub const ENV_QUEUE: &str = c4u_env::names::SERVICE_QUEUE;
 
 /// Configuration of a [`ShardService`]. Plain data — two services built from
 /// equal configs behave identically.
@@ -69,19 +69,16 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     /// Reads `C4U_SERVICE_EXECUTORS` (executor threads) and
-    /// `C4U_SERVICE_QUEUE` (queue capacity, 0 = unbounded) over the defaults.
-    /// Unset or unparsable values keep the default.
+    /// `C4U_SERVICE_QUEUE` (queue capacity, 0 = unbounded) over the defaults,
+    /// through the [`c4u_env`] registry snapshot. Unset or unparsable values
+    /// keep the default.
     pub fn from_env() -> Self {
-        let read = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-        };
+        let env = c4u_env::C4uEnv::from_env();
         let mut config = Self::default();
-        if let Some(executors) = read(ENV_EXECUTORS) {
+        if let Some(executors) = env.service_executors {
             config.executors = executors.max(1);
         }
-        if let Some(queue) = read(ENV_QUEUE) {
+        if let Some(queue) = env.service_queue {
             config.queue_capacity = queue;
         }
         config

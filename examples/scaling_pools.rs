@@ -26,12 +26,9 @@ fn main() {
     let seed = 11;
     // Worker-range shards per round (C4U_SHARDS, default 1). The selections
     // and accuracies are bit-for-bit identical for every value; sharding only
-    // spreads each round's answering/scoring over scoped threads.
-    let num_shards = std::env::var("C4U_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(1);
+    // spreads each round's answering/scoring over scoped threads. The typed
+    // snapshot also warns about any misspelled C4U_* variable.
+    let num_shards = c4u_env::C4uEnv::from_env().shards;
 
     println!("worker-range shards per round: {num_shards}\n");
     println!(

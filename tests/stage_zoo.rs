@@ -12,7 +12,8 @@
 use c4u_crowd_sim::{generate, DatasetConfig, Platform};
 use c4u_selection::{
     num_prior_domains, CrossDomainSelector, EstimationMode, EstimationStage, HistoricalProfile,
-    LgeStage, RoundContext, RoundInput, SelectorConfig, StageInit, StagePipeline, WorkerSelector,
+    LgeStage, RoundContext, RoundHeader, SelectorConfig, StageInit, StagePipeline, StageRoundInput,
+    WorkerSelector,
 };
 
 fn fast_config(mode: EstimationMode) -> SelectorConfig {
@@ -59,12 +60,15 @@ fn lge_only_runs_the_exact_lge_half_of_cpe_and_lge() {
             .iter()
             .map(|s| platform.profile(s.worker).unwrap())
             .collect();
+        let header = RoundHeader {
+            round,
+            total_rounds: pools.len(),
+            delta: 0.1,
+            sheets: &record.sheets,
+        };
         let estimates = full
-            .run_round(&RoundInput {
-                round,
-                total_rounds: pools.len(),
-                delta: 0.1,
-                sheets: &record.sheets,
+            .score_round(&StageRoundInput {
+                header,
                 profiles: &profiles,
                 cumulative_tasks: &cumulative,
                 num_shards: 1,
@@ -74,10 +78,7 @@ fn lge_only_runs_the_exact_lge_half_of_cpe_and_lge() {
         // already includes the current round) and its static estimates.
         let cpe_history = full.history(0).unwrap().clone();
         let ctx = RoundContext {
-            round,
-            total_rounds: pools.len(),
-            delta: 0.1,
-            sheets: &record.sheets,
+            header,
             profiles: &profiles,
             cumulative_tasks: &cumulative,
             num_shards: 1,
